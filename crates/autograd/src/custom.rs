@@ -1,0 +1,110 @@
+//! Extension point for fixed (non-learnable) linear operators with
+//! hand-written adjoints — used by `ts3net-core` to push the FFT-planned
+//! continuous wavelet transform into the autograd graph without this crate
+//! depending on `ts3-signal`.
+
+use crate::var::Var;
+use std::rc::Rc;
+use ts3_tensor::Tensor;
+
+/// A custom differentiable operation over `Var` inputs.
+///
+/// Implementations must satisfy the vector-Jacobian convention: `backward`
+/// receives the output cotangent and returns one optional cotangent per
+/// input, each shaped like that input.
+pub trait CustomOp {
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str;
+    /// Forward computation over the input values.
+    fn forward(&self, inputs: &[&Tensor]) -> Tensor;
+    /// Vector-Jacobian product.
+    fn backward(&self, grad: &Tensor, inputs: &[&Tensor]) -> Vec<Option<Tensor>>;
+}
+
+/// Apply a custom op to a list of graph inputs.
+pub fn apply_custom(op: Rc<dyn CustomOp>, inputs: &[&Var]) -> Var {
+    let values: Vec<&Tensor> = inputs.iter().map(|v| v.value()).collect();
+    let value = op.forward(&values);
+    let parents: Vec<Var> = inputs.iter().map(|v| (*v).clone()).collect();
+    Var::node(
+        value,
+        parents,
+        Box::new(move |g, parents| {
+            let values: Vec<&Tensor> = parents.iter().map(|p| p.value()).collect();
+            let grads = op.backward(g, &values);
+            assert_eq!(
+                grads.len(),
+                parents.len(),
+                "custom op `{}` returned {} gradients for {} inputs",
+                op.name(),
+                grads.len(),
+                parents.len()
+            );
+            grads
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy custom op: y = 3x (adjoint 3g).
+    struct Triple;
+
+    impl CustomOp for Triple {
+        fn name(&self) -> &str {
+            "triple"
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            inputs[0].mul_scalar(3.0)
+        }
+        fn backward(&self, grad: &Tensor, _inputs: &[&Tensor]) -> Vec<Option<Tensor>> {
+            vec![Some(grad.mul_scalar(3.0))]
+        }
+    }
+
+    #[test]
+    fn custom_op_forwards_and_backwards() {
+        let x = Var::constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = apply_custom(Rc::new(Triple), &[&x]);
+        assert_eq!(y.value().as_slice(), &[3.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    /// Two-input custom op: concat-like sum y = a + 2b.
+    struct AffinePair;
+
+    impl CustomOp for AffinePair {
+        fn name(&self) -> &str {
+            "affine-pair"
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            inputs[0].add(&inputs[1].mul_scalar(2.0))
+        }
+        fn backward(&self, grad: &Tensor, _inputs: &[&Tensor]) -> Vec<Option<Tensor>> {
+            vec![Some(grad.clone()), Some(grad.mul_scalar(2.0))]
+        }
+    }
+
+    #[test]
+    fn custom_op_multiple_inputs() {
+        let a = Var::constant(Tensor::from_vec(vec![1.0], &[1]));
+        let b = Var::constant(Tensor::from_vec(vec![5.0], &[1]));
+        let y = apply_custom(Rc::new(AffinePair), &[&a, &b]);
+        assert_eq!(y.value().as_slice(), &[11.0]);
+        y.backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn custom_op_composes_with_builtin_ops() {
+        let x = Var::constant(Tensor::from_vec(vec![2.0], &[1]));
+        let y = apply_custom(Rc::new(Triple), &[&x]).square(); // (3x)^2
+        y.backward();
+        // d/dx 9x^2 = 18x = 36.
+        assert_eq!(x.grad().unwrap().as_slice(), &[36.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Numerical gradient checking with central differences, used by property
+//! tests across the workspace to validate every backward rule.
+
+use crate::var::Var;
+use ts3_tensor::Tensor;
+
+/// Result of a gradient check.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest relative error seen across checked coordinates.
+    pub max_rel_err: f32,
+    /// Coordinate with the largest error.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst coordinate.
+    pub analytic: f32,
+    /// Numerical gradient at the worst coordinate.
+    pub numeric: f32,
+}
+
+/// Compare the analytic gradient of a scalar-valued function against
+/// central finite differences. `f` receives the graph input `Var` and must
+/// return a scalar `Var`; every coordinate of `x` is perturbed, so keep
+/// inputs small. `eps = 1e-2` is appropriate for `f32`.
+pub fn gradcheck_var(f: impl Fn(&Var) -> Var, x: &Tensor, eps: f32) -> GradCheckReport {
+    let leaf = Var::constant(x.clone());
+    let out = f(&leaf);
+    assert_eq!(out.shape(), &[] as &[usize], "gradcheck requires a scalar output");
+    out.backward();
+    let analytic = leaf
+        .grad()
+        .expect("gradcheck: function must depend on its input");
+
+    let mut max_rel_err = 0.0f32;
+    let mut worst = (0usize, 0.0f32, 0.0f32);
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let fp = f(&Var::constant(xp)).value().item();
+        let fm = f(&Var::constant(xm)).value().item();
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = analytic.as_slice()[i];
+        let denom = num.abs().max(ana.abs()).max(1.0);
+        let rel = (num - ana).abs() / denom;
+        if rel > max_rel_err {
+            max_rel_err = rel;
+            worst = (i, ana, num);
+        }
+    }
+    GradCheckReport {
+        max_rel_err,
+        worst_index: worst.0,
+        analytic: worst.1,
+        numeric: worst.2,
+    }
+}
+
+/// Assert helper: fail with a descriptive message when the relative error
+/// exceeds `tol`.
+pub fn assert_gradcheck(f: impl Fn(&Var) -> Var, x: &Tensor, eps: f32, tol: f32) {
+    let report = gradcheck_var(f, x, eps);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradcheck failed: rel err {} at index {} (analytic {}, numeric {})",
+        report.max_rel_err,
+        report.worst_index,
+        report.analytic,
+        report.numeric
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradcheck_passes_for_polynomial() {
+        let x = Tensor::from_vec(vec![0.5, -0.3, 1.2], &[3]);
+        assert_gradcheck(
+            |v| v.square().mul(v).sum(), // sum(x^3)
+            &x,
+            1e-2,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_passes_for_activations() {
+        let x = Tensor::from_vec(vec![0.4, -0.8, 0.1, 1.5], &[4]);
+        assert_gradcheck(|v| v.tanh().sum(), &x, 1e-2, 1e-2);
+        assert_gradcheck(|v| v.sigmoid().sum(), &x, 1e-2, 1e-2);
+        assert_gradcheck(|v| v.gelu().sum(), &x, 1e-2, 2e-2);
+        assert_gradcheck(|v| v.exp().sum(), &x, 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_passes_for_softmax() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, -0.4, 0.2, 0.0, 0.3], &[2, 3]);
+        assert_gradcheck(
+            |v| {
+                let w = Var::constant(Tensor::from_vec(
+                    vec![1.0, -2.0, 0.5, 0.7, 1.3, -0.2],
+                    &[2, 3],
+                ));
+                v.softmax_last().mul(&w).sum()
+            },
+            &x,
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_detects_wrong_gradient() {
+        // A deliberately wrong backward: treat y = 2x as y = x.
+        let x = Tensor::from_vec(vec![1.0], &[1]);
+        let report = gradcheck_var(
+            |v| {
+                Var::node(
+                    v.value().mul_scalar(2.0),
+                    vec![v.clone()],
+                    Box::new(|g, _| vec![Some(g.clone())]), // wrong: should be 2g
+                )
+                .sum()
+            },
+            &x,
+            1e-2,
+        );
+        assert!(report.max_rel_err > 0.3);
+    }
+
+    #[test]
+    fn gradcheck_through_matmul_layer_norm() {
+        let x = Tensor::randn(&[2, 4], 9).mul_scalar(0.5);
+        assert_gradcheck(
+            |v| {
+                let w = Var::constant(Tensor::randn(&[4, 3], 10).mul_scalar(0.3));
+                let gain = Var::constant(Tensor::ones(&[3]));
+                let bias = Var::constant(Tensor::zeros(&[3]));
+                v.matmul(&w).layer_norm_last(&gain, &bias, 1e-5).square().sum()
+            },
+            &x,
+            1e-2,
+            5e-2,
+        );
+    }
+}

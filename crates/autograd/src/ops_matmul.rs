@@ -1,0 +1,108 @@
+//! Differentiable matrix multiplication for the rank combinations the
+//! model zoo uses: `[m,k]@[k,n]`, `[b,m,k]@[k,n]` and `[b,m,k]@[b,k,n]`.
+
+use crate::var::Var;
+
+impl Var {
+    /// Matrix multiplication; see [`Tensor::try_matmul`] for the supported
+    /// rank combinations.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let value = self.value().matmul(rhs.value());
+        Var::node(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(|g, parents| {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                match (a.rank(), b.rank()) {
+                    (2, 2) => {
+                        let ga = g.matmul(&b.transpose());
+                        let gb = a.transpose().matmul(g);
+                        vec![Some(ga), Some(gb)]
+                    }
+                    (3, 2) => {
+                        // A: [bt,m,k], B: [k,n], G: [bt,m,n]
+                        let ga = g.matmul(&b.transpose()); // [bt,m,k]
+                        let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                        let n = b.shape()[1];
+                        let a2 = a.reshape(&[bt * m, k]);
+                        let g2 = g.reshape(&[bt * m, n]);
+                        let gb = a2.transpose().matmul(&g2); // [k,n]
+                        vec![Some(ga), Some(gb)]
+                    }
+                    (3, 3) => {
+                        let ga = g.matmul(&b.transpose()); // batched
+                        let gb = a.transpose().matmul(g); // batched
+                        vec![Some(ga), Some(gb)]
+                    }
+                    (ra, rb) => panic!("matmul backward: unsupported ranks {ra}/{rb}"),
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts3_tensor::Tensor;
+
+    fn leaf(v: Vec<f32>, s: &[usize]) -> Var {
+        Var::constant(Tensor::from_vec(v, s))
+    }
+
+    #[test]
+    fn matmul_2d_grads() {
+        // y = sum(A @ B); dA = 1 @ B^T, dB = A^T @ 1.
+        let a = leaf(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = leaf(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        a.matmul(&b).sum().backward();
+        // dA[i][p] = sum_j B[p][j]
+        assert_eq!(a.grad().unwrap().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[p][j] = sum_i A[i][p]
+        assert_eq!(b.grad().unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_3d_2d_grads() {
+        let a = leaf((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let b = leaf(vec![1.0; 6], &[3, 2]);
+        let y = a.matmul(&b);
+        assert_eq!(y.shape(), &[2, 2, 2]);
+        y.sum().backward();
+        // Each element of A contributes to 2 outputs with weight 1.
+        assert_eq!(a.grad().unwrap().as_slice(), &[2.0; 12]);
+        // dB[p][j] = sum over batch & rows of A[.,.,p] = (0+3+6+9, 1+4+7+10, 2+5+8+11)
+        assert_eq!(b.grad().unwrap().as_slice(), &[18.0, 18.0, 22.0, 22.0, 26.0, 26.0]);
+    }
+
+    #[test]
+    fn matmul_3d_3d_grads() {
+        let a = leaf(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]);
+        let b = leaf(vec![1.0, 0.0, 0.0, 2.0], &[2, 2, 1]);
+        let y = a.matmul(&b);
+        assert_eq!(y.shape(), &[2, 1, 1]);
+        assert_eq!(y.value().as_slice(), &[1.0, 8.0]);
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 0.0, 0.0, 2.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_regression_converges_one_step_direction() {
+        // Check the gradient points downhill: loss must drop after a small
+        // step along -grad.
+        let w = crate::Param::new("w", Tensor::from_vec(vec![0.0, 0.0], &[2, 1]));
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]);
+        let loss = |wp: &crate::Param| {
+            let xv = Var::constant(x.clone());
+            xv.matmul(&wp.var()).mse_loss(&t)
+        };
+        let l0 = loss(&w);
+        l0.backward();
+        w.update_with(|v, g| v.axpy(-0.1, g));
+        let l1 = loss(&w);
+        assert!(l1.value().item() < l0.value().item());
+    }
+}

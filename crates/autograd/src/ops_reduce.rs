@@ -1,0 +1,218 @@
+//! Differentiable reductions and normalisation primitives.
+
+use crate::var::Var;
+use ts3_tensor::Tensor;
+
+impl Var {
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var {
+        let value = Tensor::scalar(self.value().sum());
+        let shape: Vec<usize> = self.shape().to_vec();
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![Some(Tensor::full(&shape, g.item()))]),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var {
+        let n = self.value().numel() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Sum over one axis, keeping it as length 1.
+    pub fn sum_axis_keepdim(&self, axis: usize) -> Var {
+        let value = self.value().sum_axis_keepdim(axis);
+        let n = self.shape()[axis];
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![Some(g.repeat_axis(axis, n))]),
+        )
+    }
+
+    /// Mean over one axis, keeping it as length 1.
+    pub fn mean_axis_keepdim(&self, axis: usize) -> Var {
+        let n = self.shape()[axis] as f32;
+        self.sum_axis_keepdim(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Sum over one axis, removing it.
+    pub fn sum_axis(&self, axis: usize) -> Var {
+        let kept = self.sum_axis_keepdim(axis);
+        kept.squeeze(axis)
+    }
+
+    /// Mean over one axis, removing it.
+    pub fn mean_axis(&self, axis: usize) -> Var {
+        let n = self.shape()[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Numerically stable softmax over the last axis.
+    pub fn softmax_last(&self) -> Var {
+        let value = self.value().softmax_last();
+        let out = value.clone();
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| {
+                // dL/dx = s * (g - sum_j g_j s_j), rowwise over last axis.
+                let gs = g.mul(&out);
+                let rank = out.rank();
+                let dot = gs.sum_axis_keepdim(rank - 1);
+                let adj = g.sub(&dot).mul(&out);
+                vec![Some(adj)]
+            }),
+        )
+    }
+
+    /// Layer normalisation over the last axis with learnable gain/bias
+    /// supplied as separate `Var`s (shape `[d]`).
+    pub fn layer_norm_last(&self, gain: &Var, bias: &Var, eps: f32) -> Var {
+        let rank = self.shape().len();
+        let mean = self.mean_axis_keepdim(rank - 1);
+        let centered = self.sub(&mean);
+        let var = centered.square().mean_axis_keepdim(rank - 1);
+        let std = var.add_scalar(eps).sqrt();
+        let normed = centered.div(&std);
+        normed.mul(gain).add(bias)
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse_loss(&self, target: &Tensor) -> Var {
+        assert_eq!(self.shape(), target.shape(), "mse_loss: shape mismatch");
+        let t = Var::constant(target.clone());
+        self.sub(&t).square().mean()
+    }
+
+    /// Mean absolute error against a constant target.
+    pub fn mae_loss(&self, target: &Tensor) -> Var {
+        assert_eq!(self.shape(), target.shape(), "mae_loss: shape mismatch");
+        let t = Var::constant(target.clone());
+        self.sub(&t).abs().mean()
+    }
+
+    /// Masked MSE: error counted only where `mask == 1`, normalised by the
+    /// mask weight (used by the imputation task).
+    pub fn masked_mse_loss(&self, target: &Tensor, mask: &Tensor) -> Var {
+        assert_eq!(self.shape(), target.shape(), "masked_mse_loss: shape mismatch");
+        assert_eq!(self.shape(), mask.shape(), "masked_mse_loss: mask shape mismatch");
+        let weight = mask.sum().max(1.0);
+        let t = Var::constant(target.clone());
+        self.sub(&t)
+            .square()
+            .apply_mask(mask)
+            .sum()
+            .mul_scalar(1.0 / weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(v: Vec<f32>, s: &[usize]) -> Var {
+        Var::constant(Tensor::from_vec(v, s))
+    }
+
+    #[test]
+    fn sum_grad_is_ones() {
+        let x = leaf(vec![1.0, 2.0, 3.0], &[3]);
+        x.sum().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_grad_is_uniform() {
+        let x = leaf(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        x.mean().backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn sum_axis_keepdim_broadcasts_grad() {
+        let x = leaf((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let y = x.sum_axis_keepdim(1);
+        assert_eq!(y.shape(), &[2, 1]);
+        y.backward_with(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_axis_drops_dim() {
+        let x = leaf((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let y = x.sum_axis(0);
+        assert_eq!(y.shape(), &[3]);
+        assert_eq!(y.value().as_slice(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn softmax_value_and_grad_sum_zero() {
+        let x = leaf(vec![1.0, 2.0, 3.0], &[3]);
+        let s = x.softmax_last();
+        let total: f32 = s.value().as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        // Gradient of any function through softmax sums to ~0 per row
+        // (softmax is shift-invariant).
+        s.backward_with(Tensor::from_vec(vec![1.0, 0.0, 0.0], &[3]));
+        let g = x.grad().unwrap();
+        assert!(g.sum().abs() < 1e-5, "grad sum {}", g.sum());
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let x = leaf(vec![1.0, 3.0], &[2]);
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let l = x.mse_loss(&target);
+        assert!((l.value().item() - 5.0).abs() < 1e-6);
+        l.backward();
+        // d/dx mean((x-t)^2) = 2(x-t)/n = [1.0, 3.0]
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn mae_loss_value() {
+        let x = leaf(vec![2.0, -2.0], &[2]);
+        let target = Tensor::zeros(&[2]);
+        let l = x.mae_loss(&target);
+        assert!((l.value().item() - 2.0).abs() < 1e-6);
+        l.backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn masked_mse_only_counts_masked() {
+        let x = leaf(vec![1.0, 100.0], &[2]);
+        let target = Tensor::zeros(&[2]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let l = x.masked_mse_loss(&target, &mask);
+        assert!((l.value().item() - 1.0).abs() < 1e-6);
+        l.backward();
+        let g = x.grad().unwrap();
+        assert!((g.as_slice()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(g.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn layer_norm_normalises() {
+        let x = leaf(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let gain = Var::constant(Tensor::ones(&[4]));
+        let bias = Var::constant(Tensor::zeros(&[4]));
+        let y = x.layer_norm_last(&gain, &bias, 1e-5);
+        let v = y.value();
+        assert!(v.mean().abs() < 1e-5);
+        assert!((v.std() - 1.0).abs() < 1e-2);
+        // Gradient flows.
+        y.sum().backward();
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn mean_axis_matches_tensor_op() {
+        let x = leaf((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let y = x.mean_axis(1);
+        assert_eq!(y.value().as_slice(), &[1.0, 4.0]);
+    }
+}

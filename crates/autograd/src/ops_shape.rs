@@ -1,0 +1,242 @@
+//! Differentiable shape manipulation: reshape, permute, narrow, pad,
+//! concat, squeeze/unsqueeze, stacking.
+
+use crate::var::Var;
+use ts3_tensor::Tensor;
+
+/// Inverse of a permutation.
+fn invert_permutation(axes: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0; axes.len()];
+    for (i, &a) in axes.iter().enumerate() {
+        inv[a] = i;
+    }
+    inv
+}
+
+impl Var {
+    /// Reshape; the gradient is reshaped back.
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let value = self.value().reshape(shape);
+        let orig: Vec<usize> = self.shape().to_vec();
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![Some(g.reshape(&orig))]),
+        )
+    }
+
+    /// Axis permutation; the gradient applies the inverse permutation.
+    pub fn permute(&self, axes: &[usize]) -> Var {
+        let value = self.value().permute(axes);
+        let inv = invert_permutation(axes);
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![Some(g.permute(&inv))]),
+        )
+    }
+
+    /// Batched/2-D transpose of the last two axes.
+    pub fn transpose(&self) -> Var {
+        let rank = self.shape().len();
+        let mut axes: Vec<usize> = (0..rank).collect();
+        axes.swap(rank - 1, rank - 2);
+        self.permute(&axes)
+    }
+
+    /// Insert a length-1 axis.
+    pub fn unsqueeze(&self, axis: usize) -> Var {
+        let mut shape = self.shape().to_vec();
+        shape.insert(axis, 1);
+        self.reshape(&shape)
+    }
+
+    /// Remove a length-1 axis.
+    pub fn squeeze(&self, axis: usize) -> Var {
+        assert_eq!(self.shape()[axis], 1, "squeeze: axis {axis} is not length 1");
+        let mut shape = self.shape().to_vec();
+        shape.remove(axis);
+        self.reshape(&shape)
+    }
+
+    /// Contiguous slice along an axis; the gradient zero-pads back.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
+        let value = self.value().narrow(axis, start, len);
+        let full = self.shape()[axis];
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| {
+                vec![Some(g.pad_axis(axis, start, full - start - len))]
+            }),
+        )
+    }
+
+    /// Zero-pad along an axis; the gradient narrows back.
+    pub fn pad_axis(&self, axis: usize, before: usize, after: usize) -> Var {
+        let value = self.value().pad_axis(axis, before, after);
+        let len = self.shape()[axis];
+        Var::node(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, _| vec![Some(g.narrow(axis, before, len))]),
+        )
+    }
+
+    /// Concatenate along an existing axis; the gradient splits back.
+    pub fn concat(vars: &[&Var], axis: usize) -> Var {
+        assert!(!vars.is_empty(), "concat: empty input list");
+        let tensors: Vec<&Tensor> = vars.iter().map(|v| v.value()).collect();
+        let value = Tensor::concat(&tensors, axis);
+        let lens: Vec<usize> = vars.iter().map(|v| v.shape()[axis]).collect();
+        let parents: Vec<Var> = vars.iter().map(|v| (*v).clone()).collect();
+        Var::node(
+            value,
+            parents,
+            Box::new(move |g, _| {
+                let mut out = Vec::with_capacity(lens.len());
+                let mut start = 0;
+                for &len in &lens {
+                    out.push(Some(g.narrow(axis, start, len)));
+                    start += len;
+                }
+                out
+            }),
+        )
+    }
+
+    /// Stack along a new axis.
+    pub fn stack(vars: &[&Var], axis: usize) -> Var {
+        let unsq: Vec<Var> = vars.iter().map(|v| v.unsqueeze(axis)).collect();
+        let refs: Vec<&Var> = unsq.iter().collect();
+        Var::concat(&refs, axis)
+    }
+
+    /// Select one index along an axis, dropping it.
+    pub fn index_axis(&self, axis: usize, index: usize) -> Var {
+        self.narrow(axis, index, 1).squeeze(axis)
+    }
+
+    /// Tile the tensor `times` along `axis`; gradients from all copies sum.
+    pub fn repeat_axis(&self, axis: usize, times: usize) -> Var {
+        let copies: Vec<&Var> = std::iter::repeat_n(self as &Var, times).collect();
+        Var::concat(&copies, axis)
+    }
+
+    /// Split along `axis` into chunks of at most `chunk`.
+    pub fn split_axis(&self, axis: usize, chunk: usize) -> Vec<Var> {
+        let n = self.shape()[axis];
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let len = chunk.min(n - start);
+            out.push(self.narrow(axis, start, len));
+            start += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(v: Vec<f32>, s: &[usize]) -> Var {
+        Var::constant(Tensor::from_vec(v, s))
+    }
+
+    #[test]
+    fn reshape_grad_round_trips() {
+        let x = leaf(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.reshape(&[4]);
+        y.backward_with(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        assert_eq!(x.grad().unwrap().shape(), &[2, 2]);
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn permute_grad_uses_inverse() {
+        let x = leaf((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let y = x.permute(&[1, 0]);
+        let mut seed = Tensor::zeros(&[3, 2]);
+        seed.set(&[2, 1], 5.0); // corresponds to x[1, 2]
+        y.backward_with(seed);
+        let g = x.grad().unwrap();
+        assert_eq!(g.at(&[1, 2]), 5.0);
+        assert_eq!(g.sum(), 5.0);
+    }
+
+    #[test]
+    fn permute_3d_inverse() {
+        let x = leaf((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        let y = x.permute(&[2, 0, 1]);
+        y.backward_with(Tensor::ones(&[4, 2, 3]));
+        assert_eq!(x.grad().unwrap().shape(), &[2, 3, 4]);
+        assert_eq!(x.grad().unwrap().sum(), 24.0);
+    }
+
+    #[test]
+    fn narrow_grad_zero_pads() {
+        let x = leaf(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let y = x.narrow(0, 1, 2);
+        y.backward_with(Tensor::from_vec(vec![5.0, 6.0], &[2]));
+        assert_eq!(x.grad().unwrap().as_slice(), &[0.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pad_grad_narrows() {
+        let x = leaf(vec![1.0, 2.0], &[2]);
+        let y = x.pad_axis(0, 1, 3);
+        assert_eq!(y.shape(), &[6]);
+        y.backward_with(Tensor::from_vec(vec![9.0, 1.0, 2.0, 9.0, 9.0, 9.0], &[6]));
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let a = leaf(vec![1.0, 2.0], &[2]);
+        let b = leaf(vec![3.0], &[1]);
+        let c = Var::concat(&[&a, &b], 0);
+        c.backward_with(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]));
+        assert_eq!(a.grad().unwrap().as_slice(), &[10.0, 20.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[30.0]);
+    }
+
+    #[test]
+    fn stack_and_index() {
+        let a = leaf(vec![1.0, 2.0], &[2]);
+        let b = leaf(vec![3.0, 4.0], &[2]);
+        let s = Var::stack(&[&a, &b], 0);
+        assert_eq!(s.shape(), &[2, 2]);
+        let row = s.index_axis(0, 1);
+        row.backward_with(Tensor::ones(&[2]));
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 0.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn repeat_axis_sums_gradients() {
+        let x = leaf(vec![1.0, 2.0], &[2]);
+        let y = x.repeat_axis(0, 3);
+        y.backward_with(Tensor::ones(&[6]));
+        assert_eq!(x.grad().unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn split_axis_partitions() {
+        let x = leaf((0..5).map(|v| v as f32).collect(), &[5]);
+        let parts = x.split_axis(0, 2);
+        assert_eq!(parts.len(), 3);
+        parts[1].backward_with(Tensor::ones(&[2]));
+        assert_eq!(x.grad().unwrap().as_slice(), &[0.0, 0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_batched() {
+        let x = leaf((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let y = x.transpose();
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        y.backward_with(Tensor::ones(&[2, 3, 2]));
+        assert_eq!(x.grad().unwrap().sum(), 12.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Persistent trainable parameters.
+//!
+//! A [`Param`] owns a value tensor and a gradient accumulator that survive
+//! across training steps: each forward pass creates a fresh graph leaf via
+//! [`Param::var`], and `backward` flushes the leaf's cotangent into the
+//! parameter's accumulator, where the optimiser reads (and then clears) it.
+
+use crate::var::Var;
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+use ts3_tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Tensor>,
+}
+
+/// A named, persistent, trainable tensor. Cloning shares storage.
+#[derive(Clone)]
+pub struct Param(Rc<ParamInner>);
+
+impl Param {
+    /// Create a parameter with the given initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape());
+        Param(Rc::new(ParamInner {
+            name: name.into(),
+            value: RefCell::new(value),
+            grad: RefCell::new(grad),
+        }))
+    }
+
+    /// The parameter's name (for diagnostics and serialization).
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// Borrow the current value.
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.0.value.borrow()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.value.borrow().shape().to_vec()
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.0.value.borrow().numel()
+    }
+
+    /// Replace the value (used by optimisers and checkpoint loading).
+    ///
+    /// # Panics
+    /// Panics if the new value changes the shape.
+    pub fn set_value(&self, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.0.value.borrow().shape(),
+            "set_value must preserve the parameter shape"
+        );
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Apply an in-place update `value <- f(value, grad)`.
+    pub fn update_with(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let grad = self.0.grad.borrow();
+        let mut value = self.0.value.borrow_mut();
+        f(&mut value, &grad);
+    }
+
+    /// Borrow the accumulated gradient.
+    pub fn grad(&self) -> Ref<'_, Tensor> {
+        self.0.grad.borrow()
+    }
+
+    /// Add `g` into the gradient accumulator (called by `backward`).
+    pub(crate) fn accumulate_grad(&self, g: &Tensor) {
+        self.0.grad.borrow_mut().add_assign(g);
+    }
+
+    /// Reset the gradient accumulator to zero.
+    pub fn zero_grad(&self) {
+        let shape = self.shape();
+        *self.0.grad.borrow_mut() = Tensor::zeros(&shape);
+    }
+
+    /// Create a graph leaf carrying the current value. Each forward pass
+    /// should call this anew.
+    pub fn var(&self) -> Var {
+        Var::param_leaf(self.0.value.borrow().clone(), self.clone())
+    }
+
+    /// L2 norm of the accumulated gradient.
+    pub fn grad_norm(&self) -> f32 {
+        self.0.grad.borrow().norm()
+    }
+
+    /// Scale the accumulated gradient in place (used by gradient clipping).
+    pub fn scale_grad(&self, s: f32) {
+        self.0.grad.borrow_mut().map_inplace(|v| v * s);
+    }
+
+    /// True if two handles share the same storage.
+    pub fn ptr_eq(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Param({}, shape={:?})", self.0.name, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_roundtrip() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.value().as_slice(), &[1.0, 2.0]);
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+        assert_eq!(p.numel(), 2);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let p = Param::new("w", Tensor::from_vec(vec![3.0], &[1]));
+        let loss1 = p.var();
+        loss1.backward_with(Tensor::ones(&[1]));
+        let loss2 = p.var();
+        loss2.backward_with(Tensor::ones(&[1]));
+        assert_eq!(p.grad().as_slice(), &[2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the parameter shape")]
+    fn set_value_rejects_shape_change() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn update_with_sees_grad() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0], &[1]));
+        p.var().backward_with(Tensor::from_vec(vec![0.5], &[1]));
+        p.update_with(|v, g| v.axpy(-1.0, g));
+        assert_eq!(p.value().as_slice(), &[0.5]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        let q = p.clone();
+        assert!(p.ptr_eq(&q));
+        q.set_value(Tensor::from_vec(vec![7.0], &[1]));
+        assert_eq!(p.value().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn scale_grad_applies() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.var().backward_with(Tensor::from_vec(vec![2.0, 4.0], &[2]));
+        p.scale_grad(0.5);
+        assert_eq!(p.grad().as_slice(), &[1.0, 2.0]);
+        assert!((p.grad_norm() - 5.0f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,255 @@
+//! The [`Var`] graph node and the reverse-mode backward pass.
+//!
+//! Every operation on `Var`s builds a fresh node holding its output value,
+//! its parents, and a backward closure mapping the output cotangent to
+//! parent cotangents. [`Var::backward`] runs a topological traversal in
+//! reverse creation order (creation ids are strictly increasing, so a
+//! simple sort by id yields a valid topological order) and accumulates
+//! gradients; parameter leaves additionally flush their gradient into the
+//! persistent [`crate::Param`] storage so optimisers can see it across
+//! steps.
+
+use crate::param::Param;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use ts3_tensor::Tensor;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Backward closure: given the output cotangent and the parent values,
+/// produce one optional cotangent per parent (None = no gradient flows).
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var]) -> Vec<Option<Tensor>>>;
+
+pub(crate) enum NodeKind {
+    /// Constant input (no gradient tracked beyond the node itself).
+    Leaf,
+    /// Leaf bound to a persistent parameter.
+    ParamLeaf(Param),
+    /// Interior node with parents and a backward rule.
+    Node { parents: Vec<Var>, backward: BackwardFn },
+}
+
+pub(crate) struct VarInner {
+    pub(crate) id: u64,
+    pub(crate) value: Tensor,
+    pub(crate) grad: RefCell<Option<Tensor>>,
+    pub(crate) kind: NodeKind,
+}
+
+/// A node in the dynamic autodiff graph. Cloning is cheap (`Rc`).
+#[derive(Clone)]
+pub struct Var(pub(crate) Rc<VarInner>);
+
+impl Var {
+    /// Wrap a constant tensor (gradient is tracked to this node but goes
+    /// nowhere further).
+    pub fn constant(value: Tensor) -> Var {
+        Var(Rc::new(VarInner {
+            id: fresh_id(),
+            value,
+            grad: RefCell::new(None),
+            kind: NodeKind::Leaf,
+        }))
+    }
+
+    /// Leaf bound to a parameter; used by [`Param::var`].
+    pub(crate) fn param_leaf(value: Tensor, param: Param) -> Var {
+        Var(Rc::new(VarInner {
+            id: fresh_id(),
+            value,
+            grad: RefCell::new(None),
+            kind: NodeKind::ParamLeaf(param),
+        }))
+    }
+
+    /// Build an interior node.
+    pub(crate) fn node(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        Var(Rc::new(VarInner {
+            id: fresh_id(),
+            value,
+            grad: RefCell::new(None),
+            kind: NodeKind::Node { parents, backward },
+        }))
+    }
+
+    /// The node's value.
+    pub fn value(&self) -> &Tensor {
+        &self.0.value
+    }
+
+    /// Shape of the node's value.
+    pub fn shape(&self) -> &[usize] {
+        self.0.value.shape()
+    }
+
+    /// The gradient accumulated at this node by the last `backward` call,
+    /// if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Unique creation id (monotonically increasing).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Run reverse-mode differentiation from this node, seeding with ones
+    /// (the node is usually a scalar loss).
+    pub fn backward(&self) {
+        self.backward_with(Tensor::ones(self.shape()));
+    }
+
+    /// Run reverse-mode differentiation with an explicit seed cotangent.
+    ///
+    /// # Panics
+    /// Panics if the seed shape does not match the node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.shape(),
+            "backward seed shape {:?} does not match value shape {:?}",
+            seed.shape(),
+            self.shape()
+        );
+        // Collect the reachable subgraph.
+        let mut nodes: HashMap<u64, Var> = HashMap::new();
+        let mut stack = vec![self.clone()];
+        while let Some(v) = stack.pop() {
+            if nodes.contains_key(&v.0.id) {
+                continue;
+            }
+            if let NodeKind::Node { parents, .. } = &v.0.kind {
+                for p in parents {
+                    if !nodes.contains_key(&p.0.id) {
+                        stack.push(p.clone());
+                    }
+                }
+            }
+            nodes.insert(v.0.id, v);
+        }
+        // Clear stale gradients from any previous pass over shared nodes.
+        for v in nodes.values() {
+            *v.0.grad.borrow_mut() = None;
+        }
+        *self.0.grad.borrow_mut() = Some(seed);
+        // Reverse topological order = descending creation id.
+        let mut order: Vec<u64> = nodes.keys().copied().collect();
+        order.sort_unstable_by(|a, b| b.cmp(a));
+        for id in order {
+            let v = &nodes[&id];
+            let grad = match v.0.grad.borrow().clone() {
+                Some(g) => g,
+                None => continue, // no cotangent reached this node
+            };
+            match &v.0.kind {
+                NodeKind::Leaf => {}
+                NodeKind::ParamLeaf(param) => param.accumulate_grad(&grad),
+                NodeKind::Node { parents, backward } => {
+                    let parent_grads = backward(&grad, parents);
+                    assert_eq!(
+                        parent_grads.len(),
+                        parents.len(),
+                        "backward rule returned {} gradients for {} parents",
+                        parent_grads.len(),
+                        parents.len()
+                    );
+                    for (p, pg) in parents.iter().zip(parent_grads) {
+                        if let Some(pg) = pg {
+                            assert_eq!(
+                                pg.shape(),
+                                p.shape(),
+                                "backward produced grad of shape {:?} for parent of shape {:?}",
+                                pg.shape(),
+                                p.shape()
+                            );
+                            let mut slot = p.0.grad.borrow_mut();
+                            match slot.as_mut() {
+                                Some(acc) => acc.add_assign(&pg),
+                                None => *slot = Some(pg),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reduce `grad` (shaped like the broadcast output) back to `shape` by
+/// summing over broadcast axes — the adjoint of broadcasting.
+pub(crate) fn reduce_grad_to_shape(grad: &Tensor, shape: &[usize]) -> Tensor {
+    if grad.shape() == shape {
+        return grad.clone();
+    }
+    let mut g = grad.clone();
+    // Sum away leading axes that were added by broadcasting.
+    while g.rank() > shape.len() {
+        g = g.sum_axis(0);
+    }
+    // Sum (keepdim) over axes where the original had length 1.
+    #[allow(clippy::needless_range_loop)] // parallel index into g.shape()
+    for ax in 0..shape.len() {
+        if shape[ax] == 1 && g.shape()[ax] != 1 {
+            g = g.sum_axis_keepdim(ax);
+        }
+    }
+    assert_eq!(g.shape(), shape, "reduce_grad_to_shape failed: {:?} -> {:?}", grad.shape(), shape);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_value_and_no_initial_grad() {
+        let v = Var::constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(v.value().as_slice(), &[1.0, 2.0]);
+        assert!(v.grad().is_none());
+    }
+
+    #[test]
+    fn ids_increase() {
+        let a = Var::constant(Tensor::zeros(&[1]));
+        let b = Var::constant(Tensor::zeros(&[1]));
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn reduce_grad_identity_when_shapes_match() {
+        let g = Tensor::ones(&[2, 3]);
+        assert_eq!(reduce_grad_to_shape(&g, &[2, 3]), g);
+    }
+
+    #[test]
+    fn reduce_grad_sums_leading_axes() {
+        let g = Tensor::ones(&[4, 3]);
+        let r = reduce_grad_to_shape(&g, &[3]);
+        assert_eq!(r.as_slice(), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn reduce_grad_sums_unit_axes() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = reduce_grad_to_shape(&g, &[2, 1]);
+        assert_eq!(r.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_grad_to_scalar() {
+        let g = Tensor::ones(&[2, 2]);
+        let r = reduce_grad_to_shape(&g, &[]);
+        assert_eq!(r.item(), 4.0);
+    }
+}

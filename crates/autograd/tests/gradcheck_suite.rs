@@ -1,0 +1,178 @@
+//! Exhaustive finite-difference gradient checks across the primitive op
+//! set — every backward rule the model zoo relies on.
+
+use ts3_autograd::{assert_gradcheck, Var};
+use ts3_tensor::Tensor;
+
+fn small(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape, seed).mul_scalar(0.4)
+}
+
+#[test]
+fn gradcheck_binary_ops() {
+    let x = small(&[2, 3], 1);
+    let other = small(&[2, 3], 2).add_scalar(2.0); // keep away from 0 for div
+    let o1 = other.clone();
+    assert_gradcheck(move |v| v.mul(&Var::constant(o1.clone())).sum(), &x, 1e-2, 2e-2);
+    let o2 = other.clone();
+    assert_gradcheck(move |v| v.div(&Var::constant(o2.clone())).sum(), &x, 1e-2, 2e-2);
+    let o3 = other.clone();
+    assert_gradcheck(
+        move |v| Var::constant(o3.clone()).div(&v.add_scalar(3.0)).sum(),
+        &x,
+        1e-2,
+        2e-2,
+    );
+    assert_gradcheck(|v| v.sub(&v.mul_scalar(0.3)).square().sum(), &x, 1e-2, 2e-2);
+}
+
+#[test]
+fn gradcheck_broadcast_ops() {
+    let x = small(&[3], 3);
+    let big = small(&[4, 3], 4);
+    assert_gradcheck(
+        move |v| v.add(&Var::constant(big.clone())).square().sum(),
+        &x,
+        1e-2,
+        2e-2,
+    );
+    let col = small(&[2, 1], 5);
+    let wide = small(&[2, 5], 6);
+    assert_gradcheck(
+        move |v| v.mul(&Var::constant(wide.clone())).sum(),
+        &col,
+        1e-2,
+        2e-2,
+    );
+}
+
+#[test]
+fn gradcheck_reductions() {
+    let x = small(&[2, 4], 7);
+    assert_gradcheck(|v| v.mean(), &x, 1e-2, 2e-2);
+    assert_gradcheck(|v| v.sum_axis_keepdim(1).square().sum(), &x, 1e-2, 2e-2);
+    assert_gradcheck(|v| v.mean_axis(0).square().sum(), &x, 1e-2, 2e-2);
+}
+
+#[test]
+fn gradcheck_shape_ops() {
+    let x = small(&[2, 3, 4], 8);
+    let w = small(&[4, 3, 2], 9);
+    assert_gradcheck(
+        move |v| v.permute(&[2, 1, 0]).mul(&Var::constant(w.clone())).sum(),
+        &x,
+        1e-2,
+        2e-2,
+    );
+    assert_gradcheck(|v| v.reshape(&[6, 4]).narrow(0, 1, 3).square().sum(), &x, 1e-2, 2e-2);
+    assert_gradcheck(
+        |v| {
+            let parts = v.split_axis(2, 2);
+            let refs: Vec<&Var> = parts.iter().collect();
+            Var::concat(&refs, 2).pad_axis(1, 1, 1).square().sum()
+        },
+        &x,
+        1e-2,
+        2e-2,
+    );
+    assert_gradcheck(|v| v.repeat_axis(0, 3).square().sum(), &x, 1e-2, 2e-2);
+}
+
+#[test]
+fn gradcheck_matmul_variants() {
+    let a = small(&[3, 4], 10);
+    let b2 = small(&[4, 2], 11);
+    assert_gradcheck(
+        move |v| v.matmul(&Var::constant(b2.clone())).square().sum(),
+        &a,
+        1e-2,
+        3e-2,
+    );
+    let a3 = small(&[2, 3, 4], 12);
+    let b3 = small(&[2, 4, 2], 13);
+    assert_gradcheck(
+        move |v| v.matmul(&Var::constant(b3.clone())).square().sum(),
+        &a3,
+        1e-2,
+        3e-2,
+    );
+    // Gradient wrt the right operand.
+    let a_fixed = small(&[3, 4], 14);
+    let b = small(&[4, 2], 15);
+    assert_gradcheck(
+        move |v| Var::constant(a_fixed.clone()).matmul(v).square().sum(),
+        &b,
+        1e-2,
+        3e-2,
+    );
+}
+
+#[test]
+fn gradcheck_conv_ops() {
+    let x = small(&[1, 2, 5, 5], 16);
+    let w = small(&[2, 2, 3, 3], 17);
+    let wc = w.clone();
+    assert_gradcheck(
+        move |v| v.conv2d(&Var::constant(wc.clone()), 1, 1).square().sum(),
+        &x,
+        1e-2,
+        4e-2,
+    );
+    let xc = x.clone();
+    assert_gradcheck(
+        move |v| Var::constant(xc.clone()).conv2d(v, 1, 1).square().sum(),
+        &w,
+        1e-2,
+        4e-2,
+    );
+    let x1 = small(&[1, 2, 9], 18);
+    let w1 = small(&[3, 2, 3], 19);
+    assert_gradcheck(
+        move |v| v.conv1d(&Var::constant(w1.clone()), 1).square().sum(),
+        &x1,
+        1e-2,
+        4e-2,
+    );
+}
+
+#[test]
+fn gradcheck_losses() {
+    let x = small(&[6], 20);
+    let target = small(&[6], 21);
+    let t1 = target.clone();
+    assert_gradcheck(move |v| v.mse_loss(&t1), &x, 1e-2, 2e-2);
+    // MAE has kinks; keep inputs away from them.
+    let far = x.add_scalar(3.0);
+    let t2 = target.clone();
+    assert_gradcheck(move |v| v.mae_loss(&t2), &far, 1e-2, 2e-2);
+    let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0], &[6]);
+    assert_gradcheck(
+        move |v| v.masked_mse_loss(&target, &mask),
+        &x,
+        1e-2,
+        2e-2,
+    );
+}
+
+#[test]
+fn gradcheck_deep_composite() {
+    // A miniature TF-block-like composite: conv -> gelu -> fold -> norm.
+    let x = small(&[1, 2, 3, 6], 22);
+    assert_gradcheck(
+        |v| {
+            let w = Var::constant(small(&[2, 2, 3, 3], 23));
+            let gain = Var::constant(Tensor::ones(&[6]));
+            let bias = Var::constant(Tensor::zeros(&[6]));
+            v.conv2d(&w, 1, 1)
+                .gelu()
+                .reshape(&[1, 6, 6])
+                .layer_norm_last(&gain, &bias, 1e-5)
+                .softmax_last()
+                .square()
+                .sum()
+        },
+        &x,
+        1e-2,
+        6e-2,
+    );
+}

@@ -1,0 +1,64 @@
+//! Shared baseline configuration: every model in the zoo is built from
+//! the same (channels, lookback, horizon, width) tuple, mirroring the
+//! paper's "same input embedding and final prediction layer for all base
+//! models" protocol.
+
+/// Common hyper-parameters for baseline construction.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Input channels `C`.
+    pub c_in: usize,
+    /// Lookback length `T`.
+    pub lookback: usize,
+    /// Prediction horizon `H`.
+    pub horizon: usize,
+    /// Model width `d_model`.
+    pub d_model: usize,
+    /// Attention heads (transformer-family models).
+    pub heads: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+}
+
+impl BaselineConfig {
+    /// CPU-scaled default matching the TS3Net scaled profile.
+    pub fn scaled(c_in: usize, lookback: usize, horizon: usize) -> Self {
+        BaselineConfig {
+            c_in,
+            lookback,
+            horizon,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            dropout: 0.1,
+        }
+    }
+
+    /// Paper-scale profile (Table III).
+    pub fn paper(c_in: usize, lookback: usize, horizon: usize) -> Self {
+        BaselineConfig {
+            c_in,
+            lookback,
+            horizon,
+            d_model: 64,
+            heads: 8,
+            layers: 2,
+            dropout: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_in_width() {
+        let s = BaselineConfig::scaled(7, 96, 96);
+        let p = BaselineConfig::paper(7, 96, 96);
+        assert!(s.d_model < p.d_model);
+        assert_eq!(s.layers, 2);
+    }
+}

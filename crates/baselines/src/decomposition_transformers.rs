@@ -1,0 +1,324 @@
+//! Decomposition-transformer baselines: **Autoformer** (auto-correlation +
+//! progressive series decomposition) and **FEDformer** (Fourier-enhanced
+//! blocks + decomposition).
+
+use crate::config::BaselineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ts3_autograd::{Param, Var};
+use ts3_nn::{
+    Activation, AutoCorrelationBlock, Ctx, DataEmbedding, FourierBlock, LayerNorm, Mlp, Module,
+};
+use ts3_tensor::{moving_avg_same, Tensor};
+use ts3net_core::{ForecastModel, PredictionHead, TimeLinear};
+
+/// Differentiable moving-average split of a `[B, T, D]` Var: the trend is
+/// extracted with a fixed averaging conv expressed through narrow/concat
+/// ops (cheap for the small kernel used here).
+fn var_series_decomp(x: &Var, kernel: usize) -> (Var, Var) {
+    // Replicate-pad along time then average k shifted copies.
+    let before = (kernel - 1) / 2;
+    let after = kernel - 1 - before;
+    let first = x.narrow(1, 0, 1);
+    let t = x.shape()[1];
+    let last = x.narrow(1, t - 1, 1);
+    let mut parts: Vec<Var> = Vec::with_capacity(kernel);
+    let mut padded = x.clone();
+    if before > 0 {
+        let mut head = first.clone();
+        for _ in 1..before {
+            head = Var::concat(&[&head, &first], 1);
+        }
+        padded = Var::concat(&[&head, &padded], 1);
+    }
+    if after > 0 {
+        let mut tail = last.clone();
+        for _ in 1..after {
+            tail = Var::concat(&[&tail, &last], 1);
+        }
+        padded = Var::concat(&[&padded, &tail], 1);
+    }
+    for k in 0..kernel {
+        parts.push(padded.narrow(1, k, t));
+    }
+    let refs: Vec<&Var> = parts.iter().collect();
+    let mut acc = refs[0].clone();
+    for r in &refs[1..] {
+        acc = acc.add(r);
+    }
+    let trend = acc.mul_scalar(1.0 / kernel as f32);
+    let seasonal = x.sub(&trend);
+    (trend, seasonal)
+}
+
+/// One Autoformer/FEDformer-style encoder block: a mixing mechanism
+/// (auto-correlation or Fourier), progressive decomposition, and an FFN.
+enum Mixer {
+    Auto(AutoCorrelationBlock),
+    Fourier(FourierBlock),
+}
+
+struct DecompEncoderLayer {
+    mixer: Mixer,
+    ffn: Mlp,
+    norm: LayerNorm,
+    kernel: usize,
+}
+
+impl DecompEncoderLayer {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> (Var, Var) {
+        let mixed = match &self.mixer {
+            Mixer::Auto(b) => b.forward(x, ctx),
+            Mixer::Fourier(b) => b.forward(x, ctx),
+        };
+        let (trend1, s1) = var_series_decomp(&x.add(&mixed), self.kernel);
+        let h = self.norm.forward(&s1, ctx);
+        let (trend2, s2) = var_series_decomp(&h.add(&self.ffn.forward(&h, ctx)), self.kernel);
+        (s2, trend1.add(&trend2))
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = match &self.mixer {
+            Mixer::Auto(b) => b.params(),
+            Mixer::Fourier(b) => b.params(),
+        };
+        p.extend(self.ffn.params());
+        p.extend(self.norm.params());
+        p
+    }
+}
+
+/// Shared skeleton for the two decomposition transformers.
+struct DecompForecaster {
+    embed: DataEmbedding,
+    layers: Vec<DecompEncoderLayer>,
+    seasonal_head: PredictionHead,
+    trend_head: TimeLinear,
+    input_trend_head: TimeLinear,
+    name: &'static str,
+}
+
+impl DecompForecaster {
+    fn new(name: &'static str, cfg: &BaselineConfig, fourier: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = DataEmbedding::new(
+            &format!("{name}.embed"),
+            cfg.c_in,
+            cfg.d_model,
+            cfg.dropout,
+            &mut rng,
+        );
+        let layers = (0..cfg.layers)
+            .map(|l| DecompEncoderLayer {
+                mixer: if fourier {
+                    Mixer::Fourier(FourierBlock::new(
+                        &format!("{name}.f{l}"),
+                        (cfg.lookback / 4).max(4),
+                        cfg.d_model,
+                        &mut rng,
+                    ))
+                } else {
+                    Mixer::Auto(AutoCorrelationBlock::new(3))
+                },
+                ffn: Mlp::new(
+                    &format!("{name}.ffn{l}"),
+                    cfg.d_model,
+                    cfg.d_model * 2,
+                    cfg.d_model,
+                    Activation::Gelu,
+                    cfg.dropout,
+                    &mut rng,
+                ),
+                norm: LayerNorm::new(&format!("{name}.norm{l}"), cfg.d_model),
+                kernel: 25.min(cfg.lookback | 1),
+            })
+            .collect();
+        DecompForecaster {
+            embed,
+            layers,
+            seasonal_head: PredictionHead::new(
+                &format!("{name}.head_s"),
+                cfg.lookback,
+                cfg.horizon,
+                cfg.d_model,
+                cfg.c_in,
+                &mut rng,
+            ),
+            trend_head: TimeLinear::new(
+                &format!("{name}.head_t"),
+                cfg.lookback,
+                cfg.horizon,
+                &mut rng,
+            ),
+            input_trend_head: TimeLinear::new(
+                &format!("{name}.head_it"),
+                cfg.lookback,
+                cfg.horizon,
+                &mut rng,
+            ),
+            name,
+        }
+    }
+}
+
+impl ForecastModel for DecompForecaster {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        // Input-level decomposition: the raw trend is forecast linearly.
+        let input_trend = moving_avg_same(x, 1, 25.min(x.shape()[1] | 1));
+        let seasonal_in = x.sub(&input_trend);
+        let mut h = self.embed.forward(&Var::constant(seasonal_in), ctx);
+        let mut trend_acc: Option<Var> = None;
+        for layer in &self.layers {
+            let (s, t) = layer.forward(&h, ctx);
+            h = s;
+            trend_acc = Some(match trend_acc {
+                Some(acc) => acc.add(&t),
+                None => t,
+            });
+        }
+        let y_seasonal = self.seasonal_head.forward(&h, ctx);
+        let y_input_trend = self
+            .input_trend_head
+            .forward(&Var::constant(input_trend), ctx);
+        let mut y = y_seasonal.add(&y_input_trend);
+        if let Some(tr) = trend_acc {
+            // Progressive trend lives in feature space; fold to channels
+            // via the seasonal head's feature projection is avoided — use
+            // a dedicated time-linear over the mean feature instead.
+            let tr_c = tr.mean_axis_keepdim(2).repeat_axis(2, x.shape()[2]);
+            y = y.add(&self.trend_head.forward(&tr_c, ctx));
+        }
+        y
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.embed.params();
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.seasonal_head.params());
+        p.extend(self.trend_head.params());
+        p.extend(self.input_trend_head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Autoformer (Wu et al., NeurIPS 2021).
+pub struct Autoformer(DecompForecaster);
+
+impl Autoformer {
+    /// Build an Autoformer baseline.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        Autoformer(DecompForecaster::new("Autoformer", cfg, false, seed))
+    }
+}
+
+impl ForecastModel for Autoformer {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        self.0.forecast(x, ctx)
+    }
+    fn parameters(&self) -> Vec<Param> {
+        self.0.parameters()
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// FEDformer (Zhou et al., ICML 2022).
+pub struct FedFormer(DecompForecaster);
+
+impl FedFormer {
+    /// Build a FEDformer baseline.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        FedFormer(DecompForecaster::new("FEDformer", cfg, true, seed))
+    }
+}
+
+impl ForecastModel for FedFormer {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        self.0.forecast(x, ctx)
+    }
+    fn parameters(&self) -> Vec<Param> {
+        self.0.parameters()
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BaselineConfig {
+        BaselineConfig::scaled(3, 24, 12)
+    }
+
+    #[test]
+    fn var_series_decomp_is_exact_split() {
+        let x = Var::constant(Tensor::randn(&[1, 20, 2], 1));
+        let (t, s) = var_series_decomp(&x, 5);
+        assert!(t.value().add(s.value()).allclose(x.value(), 1e-4));
+    }
+
+    #[test]
+    fn var_series_decomp_matches_tensor_kernel() {
+        let x = Tensor::randn(&[1, 16, 2], 2);
+        let (t, _) = var_series_decomp(&Var::constant(x.clone()), 5);
+        let want = moving_avg_same(&x, 1, 5);
+        assert!(t.value().allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn var_series_decomp_gradient_flows() {
+        let x = Var::constant(Tensor::randn(&[1, 12, 1], 3));
+        let (t, s) = var_series_decomp(&x, 3);
+        t.add(&s).sum().backward();
+        let g = x.grad().unwrap();
+        // trend + seasonal = x exactly -> gradient of sum is all-ones.
+        for v in g.as_slice() {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn autoformer_shape_and_grads() {
+        let m = Autoformer::new(&cfg(), 1);
+        let mut ctx = Ctx::eval();
+        let x = Tensor::randn(&[2, 24, 3], 4);
+        let y = m.forecast(&x, &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3]);
+        assert!(y.value().all_finite());
+        let loss = y.square().sum();
+        for p in m.parameters() {
+            p.zero_grad();
+        }
+        loss.backward();
+        let live = m.parameters().iter().filter(|p| p.grad_norm() > 0.0).count();
+        assert!(live > m.parameters().len() / 2);
+        assert_eq!(m.name(), "Autoformer");
+    }
+
+    #[test]
+    fn fedformer_shape_and_grads() {
+        let m = FedFormer::new(&cfg(), 2);
+        let mut ctx = Ctx::eval();
+        let x = Tensor::randn(&[2, 24, 3], 5);
+        let y = m.forecast(&x, &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3]);
+        assert!(y.value().all_finite());
+        let loss = y.square().sum();
+        for p in m.parameters() {
+            p.zero_grad();
+        }
+        loss.backward();
+        let live = m.parameters().iter().filter(|p| p.grad_norm() > 0.0).count();
+        assert!(live > m.parameters().len() / 2);
+        assert_eq!(m.name(), "FEDformer");
+    }
+}

@@ -1,0 +1,41 @@
+//! # ts3-baselines
+//!
+//! Compact, faithful re-implementations of the paper's ten comparison
+//! models plus the two Table VII decomposition controls, all sharing the
+//! [`ts3net_core::ForecastModel`] interface and the same embedding/head
+//! protocol the paper prescribes for fair comparison:
+//!
+//! | Model | Signature mechanism kept |
+//! |---|---|
+//! | DLinear | trend/remainder split + per-part time linear |
+//! | LightTS | continuous + interval sampling MLPs |
+//! | PatchTST | channel-independent patch tokens + Transformer |
+//! | Informer | ProbSparse attention + distilling convs |
+//! | Pyraformer | pyramidal (local + strided-coarse) attention |
+//! | Stationary | per-window stationarisation around attention |
+//! | Autoformer | auto-correlation delays + progressive decomposition |
+//! | FEDformer | Fourier-enhanced frequency-domain mixing |
+//! | TimesNet | FFT-period folding + 2-D inception |
+//! | MICN | multi-scale local conv + isometric global conv |
+//! | TSD-CNN | trend-seasonal split + TS3Net's conv backbone |
+//! | TSD-Trans | trend-seasonal split + vanilla Transformer |
+
+pub mod adapter;
+pub mod config;
+pub mod decomposition_transformers;
+pub mod factory;
+pub mod linear_models;
+pub mod micn;
+pub mod timesnet;
+pub mod transformers;
+pub mod tsd;
+
+pub use adapter::{mean_fill, ReconstructionAdapter};
+pub use config::BaselineConfig;
+pub use decomposition_transformers::{Autoformer, FedFormer};
+pub use factory::{build_forecaster, build_imputer, TABLE4_MODELS};
+pub use linear_models::{DLinear, LightTS};
+pub use micn::Micn;
+pub use timesnet::TimesNet;
+pub use transformers::{Informer, PatchTst, Pyraformer, Stationary};
+pub use tsd::TsdModel;

@@ -1,0 +1,207 @@
+//! **MICN** (Wang et al., ICLR 2023): multi-scale local-global context
+//! modelling with isometric convolution — local features from
+//! downsampling convolutions, global correlations from an "isometric"
+//! conv whose kernel spans the whole downsampled sequence, all at linear
+//! complexity, plus a linear-regression trend branch.
+
+use crate::config::BaselineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ts3_autograd::{Param, Var};
+use ts3_nn::{Conv1d, Ctx, DataEmbedding, Linear, Module};
+use ts3_tensor::{moving_avg_same, Tensor};
+use ts3net_core::{ForecastModel, PredictionHead, TimeLinear};
+
+/// One MIC scale branch: local downsampling conv -> isometric (causal,
+/// full-length kernel) conv on the downsampled sequence -> upsample back.
+struct MicBranch {
+    local: Conv1d,
+    /// Isometric conv weights: `[D, D, Ld]` where `Ld` is the downsampled
+    /// length (kernel spans the whole sequence).
+    isometric: Param,
+    scale: usize,
+}
+
+impl MicBranch {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        // Local conv over time.
+        let h = x.permute(&[0, 2, 1]); // [B, D, T]
+        let h = self.local.forward(&h, ctx).gelu();
+        // Downsample by averaging non-overlapping windows of `scale`.
+        let rows = t.div_ceil(self.scale);
+        let padded = if rows * self.scale > t {
+            h.pad_axis(2, 0, rows * self.scale - t)
+        } else {
+            h
+        };
+        let down = padded
+            .reshape(&[b, d, rows, self.scale])
+            .mean_axis(3); // [B, D, rows]
+        // Isometric conv: causal conv with kernel length = rows (global
+        // receptive field on the coarse scale).
+        let iso = down.pad_axis(2, rows - 1, 0).conv1d(&self.isometric.var(), 0); // [B, D, rows]
+        let mixed = down.add(&iso.tanh());
+        // Upsample back to T by repeating each coarse step.
+        let up = mixed
+            .reshape(&[b, d, rows, 1])
+            .repeat_axis(3, self.scale)
+            .reshape(&[b, d, rows * self.scale])
+            .narrow(2, 0, t);
+        up.permute(&[0, 2, 1]) // [B, T, D]
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.local.params();
+        p.push(self.isometric.clone());
+        p
+    }
+}
+
+/// The MICN forecaster.
+pub struct Micn {
+    embed: DataEmbedding,
+    branches: Vec<MicBranch>,
+    merge: Linear,
+    head: PredictionHead,
+    trend_head: TimeLinear,
+}
+
+impl Micn {
+    /// Build a MICN baseline with scales `{4, 8}`.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = DataEmbedding::new("micn.embed", cfg.c_in, cfg.d_model, cfg.dropout, &mut rng);
+        let scales = [4usize, 8];
+        let branches = scales
+            .iter()
+            .map(|&scale| {
+                let rows = cfg.lookback.div_ceil(scale);
+                MicBranch {
+                    local: Conv1d::new(
+                        &format!("micn.s{scale}.local"),
+                        cfg.d_model,
+                        cfg.d_model,
+                        3,
+                        &mut rng,
+                    ),
+                    isometric: Param::new(
+                        format!("micn.s{scale}.iso"),
+                        Tensor::kaiming_normal(&[cfg.d_model, cfg.d_model, rows], &mut rng),
+                    ),
+                    scale,
+                }
+            })
+            .collect();
+        Micn {
+            embed,
+            branches,
+            merge: Linear::new(
+                "micn.merge",
+                cfg.d_model * scales.len(),
+                cfg.d_model,
+                true,
+                &mut rng,
+            ),
+            head: PredictionHead::new(
+                "micn.head",
+                cfg.lookback,
+                cfg.horizon,
+                cfg.d_model,
+                cfg.c_in,
+                &mut rng,
+            ),
+            trend_head: TimeLinear::new("micn.trend", cfg.lookback, cfg.horizon, &mut rng),
+        }
+    }
+}
+
+impl ForecastModel for Micn {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        // Trend-seasonal split; the trend goes through linear regression.
+        let trend = moving_avg_same(x, 1, 25.min(x.shape()[1] | 1));
+        let seasonal = x.sub(&trend);
+        let h = self.embed.forward(&Var::constant(seasonal), ctx);
+        let branch_outs: Vec<Var> = self.branches.iter().map(|br| br.forward(&h, ctx)).collect();
+        let refs: Vec<&Var> = branch_outs.iter().collect();
+        let merged = Var::concat(&refs, 2); // [B, T, D*m]
+        let merged = self.merge.forward(&merged, ctx).add(&h);
+        let y_seasonal = self.head.forward(&merged, ctx);
+        let y_trend = self.trend_head.forward(&Var::constant(trend), ctx);
+        y_seasonal.add(&y_trend)
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.embed.params();
+        for b in &self.branches {
+            p.extend(b.params());
+        }
+        p.extend(self.merge.params());
+        p.extend(self.head.params());
+        p.extend(self.trend_head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        "MICN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BaselineConfig {
+        BaselineConfig::scaled(3, 24, 12)
+    }
+
+    #[test]
+    fn micn_shape_and_finite() {
+        let m = Micn::new(&cfg(), 1);
+        let mut ctx = Ctx::eval();
+        let y = m.forecast(&Tensor::randn(&[2, 24, 3], 1), &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3]);
+        assert!(y.value().all_finite());
+        assert_eq!(m.name(), "MICN");
+    }
+
+    #[test]
+    fn micn_gradients_flow() {
+        let m = Micn::new(&cfg(), 2);
+        let mut ctx = Ctx::train(0);
+        let loss = m
+            .forecast(&Tensor::randn(&[1, 24, 3], 2), &mut ctx)
+            .mse_loss(&Tensor::zeros(&[1, 12, 3]));
+        for p in m.parameters() {
+            p.zero_grad();
+        }
+        loss.backward();
+        let live = m.parameters().iter().filter(|p| p.grad_norm() > 0.0).count();
+        assert!(live > m.parameters().len() * 3 / 4, "{live}/{}", m.parameters().len());
+    }
+
+    #[test]
+    fn micn_trains() {
+        let m = Micn::new(&cfg(), 3);
+        let mut ctx = Ctx::train(0);
+        let x = Tensor::randn(&[1, 24, 3], 3).mul_scalar(0.5);
+        let t = Tensor::zeros(&[1, 12, 3]);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..5 {
+            let loss = m.forecast(&x, &mut ctx).mse_loss(&t);
+            if step == 0 {
+                first = loss.value().item();
+            }
+            last = loss.value().item();
+            for p in m.parameters() {
+                p.zero_grad();
+            }
+            loss.backward();
+            for p in m.parameters() {
+                p.update_with(|v, g| v.axpy(-0.02, g));
+            }
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+}

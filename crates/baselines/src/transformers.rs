@@ -1,0 +1,415 @@
+//! Transformer-family baselines built on the shared attention stack:
+//! **Informer** (ProbSparse attention + distilling), **Pyraformer**
+//! (pyramidal attention), the **Non-stationary Transformer**
+//! (stationarisation wrapper) and **PatchTST** (channel-independent
+//! patching).
+
+use crate::config::BaselineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ts3_autograd::{Param, Var};
+use ts3_nn::{
+    AttentionKind, Conv1d, Ctx, DataEmbedding, EncoderLayer, Linear, Module,
+};
+use ts3_tensor::Tensor;
+use ts3net_core::{ForecastModel, PredictionHead};
+
+/// Generic encoder-style forecaster: embedding -> encoder layers ->
+/// prediction head, parameterised by the attention kind.
+struct EncoderForecaster {
+    embed: DataEmbedding,
+    layers: Vec<EncoderLayer>,
+    /// Optional distilling convs between layers (Informer).
+    distill: Vec<Conv1d>,
+    head: PredictionHead,
+    name: &'static str,
+    /// Per-window stationarisation (Non-stationary Transformer).
+    stationarise: bool,
+    horizon: usize,
+}
+
+impl EncoderForecaster {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &'static str,
+        cfg: &BaselineConfig,
+        kind: AttentionKind,
+        distilling: bool,
+        stationarise: bool,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = DataEmbedding::new(
+            &format!("{name}.embed"),
+            cfg.c_in,
+            cfg.d_model,
+            cfg.dropout,
+            &mut rng,
+        );
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                EncoderLayer::new(
+                    &format!("{name}.enc{l}"),
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_model * 2,
+                    kind,
+                    cfg.dropout,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let distill = if distilling {
+            (0..cfg.layers.saturating_sub(1))
+                .map(|l| {
+                    Conv1d::new(&format!("{name}.distill{l}"), cfg.d_model, cfg.d_model, 3, &mut rng)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let head = PredictionHead::new(
+            &format!("{name}.head"),
+            cfg.lookback,
+            cfg.horizon,
+            cfg.d_model,
+            cfg.c_in,
+            &mut rng,
+        );
+        EncoderForecaster {
+            embed,
+            layers,
+            distill,
+            head,
+            name,
+            stationarise,
+            horizon: cfg.horizon,
+        }
+    }
+
+    fn stats(x: &Tensor) -> (Tensor, Tensor) {
+        // Per (batch, channel) mean and std over the time axis.
+        let mean = x.mean_axis_keepdim(1); // [B, 1, C]
+        let centered = x.sub(&mean);
+        let std = centered
+            .square()
+            .mean_axis_keepdim(1)
+            .add_scalar(1e-5)
+            .sqrt();
+        (mean, std)
+    }
+}
+
+impl ForecastModel for EncoderForecaster {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        let (input, denorm) = if self.stationarise {
+            let (mean, std) = Self::stats(x);
+            let normed = x.sub(&mean).div(&std);
+            (normed, Some((mean, std)))
+        } else {
+            (x.clone(), None)
+        };
+        let mut h = self.embed.forward(&Var::constant(input), ctx);
+        for (l, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h, ctx);
+            if let Some(conv) = self.distill.get(l) {
+                // Distilling conv over time (keep length): [B,T,D]->[B,D,T].
+                let ht = h.permute(&[0, 2, 1]);
+                let ht = conv.forward(&ht, ctx).gelu();
+                h = ht.permute(&[0, 2, 1]);
+            }
+        }
+        let mut y = self.head.forward(&h, ctx);
+        if let Some((mean, std)) = denorm {
+            // Broadcast train-window statistics over the horizon.
+            let mean_h = mean.repeat_axis(1, self.horizon);
+            let std_h = std.repeat_axis(1, self.horizon);
+            y = y.mul(&Var::constant(std_h)).add(&Var::constant(mean_h));
+        }
+        y
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.embed.params();
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        for d in &self.distill {
+            p.extend(d.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Informer (Zhou et al., AAAI 2021): ProbSparse attention + distilling.
+pub struct Informer(EncoderForecaster);
+
+impl Informer {
+    /// Build an Informer baseline.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        Informer(EncoderForecaster::new(
+            "Informer",
+            cfg,
+            AttentionKind::ProbSparse { factor: 5 },
+            true,
+            false,
+            seed,
+        ))
+    }
+}
+
+impl ForecastModel for Informer {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        self.0.forecast(x, ctx)
+    }
+    fn parameters(&self) -> Vec<Param> {
+        self.0.parameters()
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// Pyraformer (Liu et al., ICLR 2022): pyramidal sparse attention.
+pub struct Pyraformer(EncoderForecaster);
+
+impl Pyraformer {
+    /// Build a Pyraformer baseline.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        Pyraformer(EncoderForecaster::new(
+            "Pyraformer",
+            cfg,
+            AttentionKind::Pyramidal { window: 3, stride: cfg.lookback.div_ceil(8).max(2) },
+            false,
+            false,
+            seed,
+        ))
+    }
+}
+
+impl ForecastModel for Pyraformer {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        self.0.forecast(x, ctx)
+    }
+    fn parameters(&self) -> Vec<Param> {
+        self.0.parameters()
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// Non-stationary Transformer (Liu et al., NeurIPS 2022): per-window
+/// stationarisation around a vanilla attention encoder.
+pub struct Stationary(EncoderForecaster);
+
+impl Stationary {
+    /// Build a Non-stationary Transformer baseline.
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        Stationary(EncoderForecaster::new(
+            "Stationary",
+            cfg,
+            AttentionKind::Full,
+            false,
+            true,
+            seed,
+        ))
+    }
+}
+
+impl ForecastModel for Stationary {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        self.0.forecast(x, ctx)
+    }
+    fn parameters(&self) -> Vec<Param> {
+        self.0.parameters()
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// PatchTST (Nie et al., ICLR 2023): channel-independent patch tokens +
+/// Transformer encoder + flatten head, with instance normalisation.
+pub struct PatchTst {
+    patch_embed: Linear,
+    layers: Vec<EncoderLayer>,
+    head: Linear,
+    patch_len: usize,
+    stride: usize,
+    n_patches: usize,
+    horizon: usize,
+    d_model: usize,
+}
+
+impl PatchTst {
+    /// Build a PatchTST baseline (the original's lookback-96 settings:
+    /// patch length 16, stride 8).
+    pub fn new(cfg: &BaselineConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patch_len = 16.min(cfg.lookback);
+        let stride = (patch_len / 2).max(1);
+        let n_patches = (cfg.lookback - patch_len) / stride + 1;
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                EncoderLayer::new(
+                    &format!("patchtst.enc{l}"),
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_model * 2,
+                    AttentionKind::Full,
+                    cfg.dropout,
+                    &mut rng,
+                )
+            })
+            .collect();
+        PatchTst {
+            patch_embed: Linear::new("patchtst.embed", patch_len, cfg.d_model, true, &mut rng),
+            layers,
+            head: Linear::new(
+                "patchtst.head",
+                n_patches * cfg.d_model,
+                cfg.horizon,
+                true,
+                &mut rng,
+            ),
+            patch_len,
+            stride,
+            n_patches,
+            horizon: cfg.horizon,
+            d_model: cfg.d_model,
+        }
+    }
+}
+
+impl ForecastModel for PatchTst {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        let (b, t, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        // Instance normalisation per (batch, channel).
+        let mean = x.mean_axis_keepdim(1);
+        let std = x.sub(&mean).square().mean_axis_keepdim(1).add_scalar(1e-5).sqrt();
+        let normed = x.sub(&mean).div(&std);
+        // Build patch tokens channel-independently: [B*C, N, P].
+        let mut tokens = vec![0.0f32; b * c * self.n_patches * self.patch_len];
+        for bi in 0..b {
+            for ci in 0..c {
+                for pi in 0..self.n_patches {
+                    for j in 0..self.patch_len {
+                        let ti = pi * self.stride + j;
+                        let _ = t;
+                        tokens[(((bi * c + ci) * self.n_patches + pi) * self.patch_len) + j] =
+                            normed.at(&[bi, ti, ci]);
+                    }
+                }
+            }
+        }
+        let tokens = Var::constant(Tensor::from_vec(
+            tokens,
+            &[b * c, self.n_patches, self.patch_len],
+        ));
+        let mut h = self.patch_embed.forward(&tokens, ctx); // [B*C, N, D]
+        for layer in &self.layers {
+            h = layer.forward(&h, ctx);
+        }
+        let flat = h.reshape(&[b * c, self.n_patches * self.d_model]);
+        let y = self.head.forward(&flat, ctx); // [B*C, H]
+        let y = y.reshape(&[b, c, self.horizon]).permute(&[0, 2, 1]); // [B, H, C]
+        // De-normalise.
+        let mean_h = mean.repeat_axis(1, self.horizon);
+        let std_h = std.repeat_axis(1, self.horizon);
+        y.mul(&Var::constant(std_h)).add(&Var::constant(mean_h))
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.patch_embed.params();
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        "PatchTST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BaselineConfig {
+        BaselineConfig::scaled(3, 24, 12)
+    }
+
+    fn batch() -> Tensor {
+        Tensor::randn(&[2, 24, 3], 5)
+    }
+
+    fn check_model(m: &dyn ForecastModel) {
+        let mut ctx = Ctx::eval();
+        let y = m.forecast(&batch(), &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3], "{}", m.name());
+        assert!(y.value().all_finite(), "{}", m.name());
+        let loss = y.square().sum();
+        for p in m.parameters() {
+            p.zero_grad();
+        }
+        loss.backward();
+        let live = m
+            .parameters()
+            .iter()
+            .filter(|p| p.grad_norm() > 0.0)
+            .count();
+        assert!(
+            live * 10 >= m.parameters().len() * 9,
+            "{}: only {live}/{} params got gradients",
+            m.name(),
+            m.parameters().len()
+        );
+    }
+
+    #[test]
+    fn informer_works() {
+        check_model(&Informer::new(&cfg(), 1));
+    }
+
+    #[test]
+    fn pyraformer_works() {
+        check_model(&Pyraformer::new(&cfg(), 2));
+    }
+
+    #[test]
+    fn stationary_works() {
+        check_model(&Stationary::new(&cfg(), 3));
+    }
+
+    #[test]
+    fn patchtst_works() {
+        check_model(&PatchTst::new(&cfg(), 4));
+    }
+
+    #[test]
+    fn stationary_denormalises_scale() {
+        // A large-offset constant input should produce predictions near
+        // that offset immediately (the normalisation handles the shift).
+        let m = Stationary::new(&cfg(), 5);
+        let x = Tensor::full(&[1, 24, 3], 100.0);
+        let mut ctx = Ctx::eval();
+        let y = m.forecast(&x, &mut ctx);
+        // Mean restored by de-normalisation.
+        assert!((y.value().mean() - 100.0).abs() < 5.0, "mean {}", y.value().mean());
+    }
+
+    #[test]
+    fn patchtst_names_and_counts() {
+        let m = PatchTst::new(&cfg(), 6);
+        assert_eq!(m.name(), "PatchTST");
+        assert!(m.num_parameters() > 100);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Table VII comparison models: **TSD-CNN** (conventional
+//! trend-seasonal decomposition with the same conv backbone as TS3Net)
+//! and **TSD-Trans** (trend-seasonal decomposition with a vanilla
+//! Transformer backbone). Both isolate the value of the *triple*
+//! decomposition against the conventional two-way split.
+
+use crate::config::BaselineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ts3_autograd::{Param, Var};
+use ts3_nn::{AttentionKind, Ctx, DataEmbedding, EncoderLayer, Module};
+use ts3_signal::WaveletKind;
+use ts3_tensor::{moving_avg_same, Tensor};
+use ts3net_core::{branch_plans, Autoregression, ForecastModel, PredictionHead, TfBlock};
+
+/// Backbone selector for the TSD models.
+enum TsdBackbone {
+    Cnn(Vec<TfBlock>),
+    Trans(Vec<EncoderLayer>),
+}
+
+/// Trend-seasonal decomposition forecaster with a pluggable backbone.
+pub struct TsdModel {
+    embed: DataEmbedding,
+    backbone: TsdBackbone,
+    seasonal_head: PredictionHead,
+    trend_head: Autoregression,
+    name: &'static str,
+    kernel: usize,
+}
+
+impl TsdModel {
+    /// TSD-CNN: trend-seasonal split + the TS3Net TF-Block backbone
+    /// (without S-GD — that is exactly what Table VII isolates).
+    pub fn cnn(cfg: &BaselineConfig, lambda: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plans = branch_plans(cfg.lookback, lambda, &[WaveletKind::ComplexGaussian]);
+        let blocks = (0..cfg.layers)
+            .map(|l| TfBlock::new(&format!("tsdcnn.block{l}"), &plans, cfg.d_model, cfg.d_model, &mut rng))
+            .collect();
+        Self::build("TSD-CNN", cfg, TsdBackbone::Cnn(blocks), &mut rng)
+    }
+
+    /// TSD-Trans: trend-seasonal split + vanilla Transformer backbone.
+    pub fn transformer(cfg: &BaselineConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                EncoderLayer::new(
+                    &format!("tsdtrans.enc{l}"),
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_model * 2,
+                    AttentionKind::Full,
+                    cfg.dropout,
+                    &mut rng,
+                )
+            })
+            .collect();
+        Self::build("TSD-Trans", cfg, TsdBackbone::Trans(layers), &mut rng)
+    }
+
+    fn build(
+        name: &'static str,
+        cfg: &BaselineConfig,
+        backbone: TsdBackbone,
+        rng: &mut StdRng,
+    ) -> Self {
+        TsdModel {
+            embed: DataEmbedding::new(
+                &format!("{name}.embed"),
+                cfg.c_in,
+                cfg.d_model,
+                cfg.dropout,
+                rng,
+            ),
+            backbone,
+            seasonal_head: PredictionHead::new(
+                &format!("{name}.head_s"),
+                cfg.lookback,
+                cfg.horizon,
+                cfg.d_model,
+                cfg.c_in,
+                rng,
+            ),
+            trend_head: Autoregression::new(
+                &format!("{name}.head_t"),
+                cfg.lookback,
+                cfg.horizon,
+                cfg.lookback.max(32),
+                rng,
+            ),
+            name,
+            kernel: 25.min(cfg.lookback | 1),
+        }
+    }
+}
+
+impl ForecastModel for TsdModel {
+    fn forecast(&self, x: &Tensor, ctx: &mut Ctx) -> Var {
+        let trend = moving_avg_same(x, 1, self.kernel);
+        let seasonal = x.sub(&trend);
+        let mut h = self.embed.forward(&Var::constant(seasonal), ctx);
+        match &self.backbone {
+            TsdBackbone::Cnn(blocks) => {
+                for b in blocks {
+                    h = b.forward(&h, ctx);
+                }
+            }
+            TsdBackbone::Trans(layers) => {
+                for l in layers {
+                    h = l.forward(&h, ctx);
+                }
+            }
+        }
+        let y_seasonal = self.seasonal_head.forward(&h, ctx);
+        let y_trend = self.trend_head.forward(&Var::constant(trend), ctx);
+        y_seasonal.add(&y_trend)
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.embed.params();
+        match &self.backbone {
+            TsdBackbone::Cnn(blocks) => {
+                for b in blocks {
+                    p.extend(b.params());
+                }
+            }
+            TsdBackbone::Trans(layers) => {
+                for l in layers {
+                    p.extend(l.params());
+                }
+            }
+        }
+        p.extend(self.seasonal_head.params());
+        p.extend(self.trend_head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BaselineConfig {
+        BaselineConfig::scaled(3, 24, 12)
+    }
+
+    #[test]
+    fn tsd_cnn_shape() {
+        let m = TsdModel::cnn(&cfg(), 4, 1);
+        let mut ctx = Ctx::eval();
+        let y = m.forecast(&Tensor::randn(&[2, 24, 3], 1), &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3]);
+        assert!(y.value().all_finite());
+        assert_eq!(m.name(), "TSD-CNN");
+    }
+
+    #[test]
+    fn tsd_trans_shape() {
+        let m = TsdModel::transformer(&cfg(), 2);
+        let mut ctx = Ctx::eval();
+        let y = m.forecast(&Tensor::randn(&[2, 24, 3], 2), &mut ctx);
+        assert_eq!(y.shape(), &[2, 12, 3]);
+        assert!(y.value().all_finite());
+        assert_eq!(m.name(), "TSD-Trans");
+    }
+
+    #[test]
+    fn both_backbones_get_gradients() {
+        for m in [TsdModel::cnn(&cfg(), 4, 3), TsdModel::transformer(&cfg(), 4)] {
+            let mut ctx = Ctx::train(0);
+            let loss = m
+                .forecast(&Tensor::randn(&[1, 24, 3], 5), &mut ctx)
+                .mse_loss(&Tensor::zeros(&[1, 12, 3]));
+            for p in m.parameters() {
+                p.zero_grad();
+            }
+            loss.backward();
+            let live = m.parameters().iter().filter(|p| p.grad_norm() > 0.0).count();
+            assert!(live > m.parameters().len() / 2, "{}: {live}", m.name());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks at model granularity: forward and
+//! forward+backward of TS3Net and representative baselines at the scaled
+//! profile, plus the data-side triple decomposition. These are the unit
+//! costs behind every cell of Tables IV–IX.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ts3_baselines::{build_forecaster, BaselineConfig};
+use ts3_nn::Ctx;
+use ts3_signal::{triple_decompose, TripleConfig};
+use ts3_tensor::Tensor;
+use ts3net_core::TS3NetConfig;
+
+fn batch(b: usize, t: usize, c: usize) -> Tensor {
+    let mut v = Vec::with_capacity(b * t * c);
+    for bi in 0..b {
+        for ti in 0..t {
+            for ci in 0..c {
+                v.push((ti as f32 / 12.0 + bi as f32 + ci as f32).sin() + 0.01 * ti as f32);
+            }
+        }
+    }
+    Tensor::from_vec(v, &[b, t, c])
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_step");
+    group.sample_size(10);
+    let (b, t, ch, h) = (8usize, 96usize, 7usize, 96usize);
+    let x = batch(b, t, ch);
+    let y = Tensor::zeros(&[b, h, ch]);
+    let cfg = BaselineConfig::scaled(ch, t, h);
+    let ts3 = TS3NetConfig::scaled(ch, t, h);
+    for name in ["TS3Net", "DLinear", "PatchTST", "TimesNet", "Informer"] {
+        let model = build_forecaster(name, &cfg, &ts3, 0);
+        group.bench_function(format!("{name}_forward"), |bch| {
+            bch.iter(|| {
+                let mut ctx = Ctx::eval();
+                black_box(model.forecast(black_box(&x), &mut ctx))
+            })
+        });
+        group.bench_function(format!("{name}_train_step"), |bch| {
+            bch.iter(|| {
+                let mut ctx = Ctx::train(0);
+                let loss = model.forecast(black_box(&x), &mut ctx).mse_loss(&y);
+                for p in model.parameters() {
+                    p.zero_grad();
+                }
+                loss.backward();
+                black_box(loss.value().item())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_triple_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triple_decomposition");
+    group.sample_size(10);
+    let x = batch(1, 192, 1).reshape(&[192, 1]);
+    for lambda in [8usize, 16] {
+        let cfg = TripleConfig { lambda, ..Default::default() };
+        group.bench_function(format!("lambda_{lambda}_192x1"), |b| {
+            b.iter(|| triple_decompose(black_box(&x), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_models, bench_triple_decomposition
+}
+criterion_main!(benches);

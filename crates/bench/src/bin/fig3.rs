@@ -1,0 +1,70 @@
+//! Regenerates **Figure 3** — long-horizon forecast showcase on the
+//! ETTm1-like benchmark: TS3Net's prediction vs ground truth for one
+//! variate, rendered as an ASCII plot and dumped to CSV.
+
+use ts3_baselines::build_forecaster;
+use ts3_bench::viz::line_plot;
+use ts3_bench::{
+    cell_configs, horizons_for, lookback_for, prepare_task, results_dir, spec, train_forecaster,
+    RunProfile,
+};
+use ts3_data::Split;
+use ts3_nn::Ctx;
+
+fn main() {
+    run_forecast_figure("fig3", "ETTm1", 0);
+}
+
+/// Shared driver for Figures 3 and 4.
+pub fn run_forecast_figure(stem: &str, dataset: &str, channel: usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    let lookback = lookback_for(dataset);
+    let horizon = *horizons_for(dataset, &profile).last().unwrap();
+    println!(
+        "TS3Net reproduction - {stem} ({dataset} predict-{horizon} showcase), profile `{}`\n",
+        profile.name
+    );
+    let s = spec(dataset);
+    let task = prepare_task(&s, lookback, horizon, &profile);
+    let (cfg, ts3) = cell_configs(task.channels(), lookback, horizon, &profile);
+    let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
+    let r = train_forecaster(model.as_ref(), &task, &profile);
+    println!("trained TS3Net: test mse={:.3} mae={:.3}\n", r.mse, r.mae);
+    // Showcase window: middle of the test split.
+    let idx = task.len(Split::Test) / 2;
+    let (x, y) = task.window(Split::Test, idx);
+    let xb = x.reshape(&[1, lookback, task.channels()]);
+    let mut ctx = Ctx::eval();
+    let pred = model.forecast(&xb, &mut ctx);
+    let truth: Vec<f32> = (0..horizon).map(|t| y.at(&[t, channel])).collect();
+    let predicted: Vec<f32> = (0..horizon)
+        .map(|t| pred.value().at(&[0, t, channel]))
+        .collect();
+    let history: Vec<f32> = (0..lookback).map(|t| x.at(&[t, channel])).collect();
+    println!(
+        "{}",
+        line_plot(
+            &[("GroundTruth", &truth), ("Prediction", &predicted)],
+            14
+        )
+    );
+    // CSV: t, history/truth, prediction.
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join(format!("{}.csv", ts3_bench::csv_stem(stem, profile.name)));
+    let mut out = String::from("t,series,prediction\n");
+    for (t, v) in history.iter().enumerate() {
+        out.push_str(&format!("{t},{v},\n"));
+    }
+    for t in 0..horizon {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            lookback + t,
+            truth[t],
+            predicted[t]
+        ));
+    }
+    std::fs::write(&path, out).expect("write csv");
+    println!("wrote {}", path.display());
+}

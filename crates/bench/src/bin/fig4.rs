@@ -1,0 +1,53 @@
+//! Regenerates **Figure 4** — forecast showcase on the ETTm2-like
+//! benchmark (normalised OT variate, the last channel), predict-long
+//! setting.
+
+use ts3_baselines::build_forecaster;
+use ts3_bench::viz::line_plot;
+use ts3_bench::{
+    cell_configs, horizons_for, lookback_for, prepare_task, results_dir, spec, train_forecaster,
+    RunProfile,
+};
+use ts3_data::Split;
+use ts3_nn::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    let dataset = "ETTm2";
+    let lookback = lookback_for(dataset);
+    let horizon = *horizons_for(dataset, &profile).last().unwrap();
+    println!(
+        "TS3Net reproduction - fig4 ({dataset} OT predict-{horizon} showcase), profile `{}`\n",
+        profile.name
+    );
+    let s = spec(dataset);
+    let task = prepare_task(&s, lookback, horizon, &profile);
+    let channel = task.channels() - 1; // the OT (last) variate
+    let (cfg, ts3) = cell_configs(task.channels(), lookback, horizon, &profile);
+    let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
+    let r = train_forecaster(model.as_ref(), &task, &profile);
+    println!("trained TS3Net: test mse={:.3} mae={:.3}\n", r.mse, r.mae);
+    let idx = task.len(Split::Test) / 2;
+    let (x, y) = task.window(Split::Test, idx);
+    let xb = x.reshape(&[1, lookback, task.channels()]);
+    let mut ctx = Ctx::eval();
+    let pred = model.forecast(&xb, &mut ctx);
+    let truth: Vec<f32> = (0..horizon).map(|t| y.at(&[t, channel])).collect();
+    let predicted: Vec<f32> = (0..horizon)
+        .map(|t| pred.value().at(&[0, t, channel]))
+        .collect();
+    println!(
+        "{}",
+        line_plot(&[("GroundTruth", &truth), ("Prediction", &predicted)], 14)
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join(format!("{}.csv", ts3_bench::csv_stem("fig4", profile.name)));
+    let mut out = String::from("t,truth,prediction\n");
+    for t in 0..horizon {
+        out.push_str(&format!("{t},{},{}\n", truth[t], predicted[t]));
+    }
+    std::fs::write(&path, out).expect("write csv");
+    println!("wrote {}", path.display());
+}

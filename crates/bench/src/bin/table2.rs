@@ -1,0 +1,50 @@
+//! Regenerates **Table II** — dataset descriptions. Prints the paper's
+//! columns for the generated (or real, if CSVs are present) benchmarks,
+//! with the (train, val, test) sizes produced under the active profile.
+
+use ts3_bench::{horizons_for, lookback_for, prepare_task, RunProfile, Table, TABLE4_DATASETS};
+use ts3_data::{spec_by_name, Split};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    println!("TS3Net reproduction - Table II (dataset descriptions), profile `{}`\n", profile.name);
+    let mut table = Table::new(
+        "Table II: Description of datasets (synthetic stand-ins; sizes under this profile)",
+        &[
+            "Dataset",
+            "Dim",
+            "SeriesLength(horizons)",
+            "DatasetSize(train,val,test windows)",
+            "Information(Frequency)",
+        ],
+    );
+    for name in TABLE4_DATASETS {
+        let spec = spec_by_name(name).expect("catalog dataset");
+        let lookback = lookback_for(name);
+        let horizon = horizons_for(name, &profile)[0];
+        let task = prepare_task(&spec, lookback, horizon, &profile);
+        let sizes = format!(
+            "({}, {}, {})",
+            task.len(Split::Train),
+            task.len(Split::Val),
+            task.len(Split::Test)
+        );
+        let horizons: Vec<String> = ts3_bench::paper_horizons(name)
+            .iter()
+            .map(|h| h.to_string())
+            .collect();
+        table.push_row(vec![
+            name.to_string(),
+            task.channels().to_string(),
+            format!("{{{}}}", horizons.join(", ")),
+            sizes,
+            format!("{} ({})", spec.info_label, spec.freq_label),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table2", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table III** — the experiment configuration of TS3Net,
+//! paper scale vs the active reproduction profile.
+
+use ts3_bench::{RunProfile, Table};
+use ts3net_core::TS3NetConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    let scaled = TS3NetConfig::scaled(7, 96, 96);
+    let paper = TS3NetConfig::paper(7, 96, 96);
+    let mut table = Table::new(
+        "Table III: Experiment configuration of TS3Net (Adam beta = (0.9, 0.999))",
+        &["Setting", "Paper (forecasting)", "Paper (imputation)", "This run"],
+    );
+    let rows: Vec<(&str, String, String, String)> = vec![
+        ("lambda", paper.lambda.to_string(), "100".into(), scaled.lambda.to_string()),
+        ("Layers (TF-Blocks)", paper.n_blocks.to_string(), "2".into(), scaled.n_blocks.to_string()),
+        ("d_min", "32".into(), "64".into(), "8".into()),
+        ("d_max", "512".into(), "128".into(), "16".into()),
+        ("LR", "1e-4".into(), "1e-3".into(), format!("{:.0e}", profile.lr)),
+        ("Loss", "MSE".into(), "MSE".into(), "MSE".into()),
+        ("Batch size", "32".into(), "16".into(), profile.batch_size.to_string()),
+        ("Epochs", "10".into(), "10".into(), profile.epochs.to_string()),
+        ("Patience", "3".into(), "3".into(), profile.patience.to_string()),
+        ("Branches (wavelets)", "m".into(), "m".into(), scaled.branches.len().to_string()),
+    ];
+    for (k, a, b, c) in rows {
+        table.push_row(vec![k.to_string(), a, b, c]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table3", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

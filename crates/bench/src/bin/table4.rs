@@ -1,0 +1,100 @@
+//! Regenerates **Table IV** — long-term forecasting MSE/MAE for all nine
+//! benchmarks and all eleven models. The quick profile runs two horizons
+//! per dataset; `--full` runs the paper's four. Rows stream as they
+//! complete; a `1st-count` summary (the paper's bottom row) is printed at
+//! the end.
+
+use std::time::Instant;
+use ts3_baselines::TABLE4_MODELS;
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table, TABLE4_DATASETS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    // Optional dataset filter: any non-flag args select datasets.
+    let filter: Vec<String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    for f in &filter {
+        if !TABLE4_DATASETS.iter().any(|d| d.eq_ignore_ascii_case(f)) {
+            eprintln!(
+                "error: unknown dataset `{f}` (expected one of: {})",
+                TABLE4_DATASETS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let datasets: Vec<&str> = TABLE4_DATASETS
+        .iter()
+        .copied()
+        .filter(|d| filter.is_empty() || filter.iter().any(|f| f.eq_ignore_ascii_case(d)))
+        .collect();
+    println!(
+        "TS3Net reproduction - Table IV (long-term forecasting), profile `{}`\nmodels: {}\n",
+        profile.name,
+        TABLE4_MODELS.join(", ")
+    );
+    let mut columns = vec!["Dataset".to_string(), "H".to_string()];
+    for m in TABLE4_MODELS {
+        columns.push(format!("{m} MSE"));
+        columns.push(format!("{m} MAE"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table IV: Long-term forecasting (MSE / MAE)", &col_refs);
+    let mut first_counts = vec![0usize; TABLE4_MODELS.len()];
+    let t0 = Instant::now();
+    for dataset in &datasets {
+        let mut avg = vec![(0.0f32, 0.0f32); TABLE4_MODELS.len()];
+        let horizons = horizons_for(dataset, &profile);
+        for &h in &horizons {
+            let mut row = vec![dataset.to_string(), h.to_string()];
+            let mut cells = Vec::new();
+            for (mi, model) in TABLE4_MODELS.iter().enumerate() {
+                let r = run_forecast_cell(model, dataset, h, &profile);
+                eprintln!(
+                    "[{:>7.1}s] {dataset} H={h} {model}: mse={:.3} mae={:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    r.mse,
+                    r.mae
+                );
+                row.push(fmt_metric(r.mse));
+                row.push(fmt_metric(r.mae));
+                avg[mi].0 += r.mse / horizons.len() as f32;
+                avg[mi].1 += r.mae / horizons.len() as f32;
+                cells.push(r);
+            }
+            // Count firsts per row (MSE and MAE separately, paper-style).
+            let best_mse = cells.iter().map(|c| c.mse).fold(f32::INFINITY, f32::min);
+            let best_mae = cells.iter().map(|c| c.mae).fold(f32::INFINITY, f32::min);
+            for (mi, c) in cells.iter().enumerate() {
+                if c.mse <= best_mse + 1e-6 {
+                    first_counts[mi] += 1;
+                }
+                if c.mae <= best_mae + 1e-6 {
+                    first_counts[mi] += 1;
+                }
+            }
+            table.push_row(row);
+        }
+        let mut row = vec![dataset.to_string(), "Avg".to_string()];
+        for (mse, mae) in &avg {
+            row.push(fmt_metric(*mse));
+            row.push(fmt_metric(*mae));
+        }
+        table.push_row(row);
+    }
+    let mut row = vec!["1st".to_string(), "Count".to_string()];
+    for c in &first_counts {
+        row.push(c.to_string());
+        row.push(String::new());
+    }
+    table.push_row(row);
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table4", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,112 @@
+//! Regenerates **Table V** — imputation MSE/MAE on length-96 windows
+//! with mask ratios {12.5%, 25%, 37.5%, 50%}, for all eleven models.
+//!
+//! Budget note (documented in DESIGN.md): each model is trained once per
+//! dataset at the middle mask ratio (25%) and evaluated at all four
+//! ratios with fresh masks; the paper trains one model per ratio. The
+//! pointwise-masking objective is ratio-agnostic, so the comparison shape
+//! is preserved.
+
+use std::time::Instant;
+use ts3_baselines::{build_imputer, TABLE4_MODELS};
+use ts3_bench::{
+    cell_configs, eval_imputer, fmt_metric, prepare_task, spec, train_imputer, RunProfile, Table,
+    TABLE5_DATASETS,
+};
+use ts3_data::Split;
+
+const RATIOS: [f32; 4] = [0.125, 0.25, 0.375, 0.5];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut profile = RunProfile::from_args(&args);
+    // Table III prescribes LR 1e-3 for the imputation task (vs the
+    // forecasting rows' rate); keep that cap here.
+    profile.lr = profile.lr.min(1e-3);
+    let window = 96usize;
+    println!(
+        "TS3Net reproduction - Table V (imputation, length-{window} windows), profile `{}`\n",
+        profile.name
+    );
+    let mut columns = vec!["Dataset".to_string(), "MaskRatio".to_string()];
+    for m in TABLE4_MODELS {
+        columns.push(format!("{m} MSE"));
+        columns.push(format!("{m} MAE"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table V: Imputation (MSE / MAE on masked points)", &col_refs);
+    let mut first_counts = vec![0usize; TABLE4_MODELS.len()];
+    let t0 = Instant::now();
+    let datasets: Vec<&str> = if profile.name == "smoke" {
+        vec![TABLE5_DATASETS[0]]
+    } else {
+        TABLE5_DATASETS.to_vec()
+    };
+    for dataset in &datasets {
+        let s = spec(dataset);
+        let task = prepare_task(&s, window, window, &profile);
+        let (cfg, ts3) = cell_configs(task.channels(), window, window, &profile);
+        // Train each model once at the middle ratio, then sweep ratios.
+        let mut per_model: Vec<Vec<(f32, f32)>> = Vec::new();
+        for model_name in TABLE4_MODELS {
+            let model = build_imputer(model_name, &cfg, &ts3, profile.seed);
+            train_imputer(model.as_ref(), &task, 0.25, &profile);
+            let mut rows = Vec::new();
+            for &ratio in &RATIOS {
+                let r = eval_imputer(model.as_ref(), &task, Split::Test, ratio, &profile);
+                rows.push((r.mse, r.mae));
+            }
+            eprintln!(
+                "[{:>7.1}s] {dataset} {model_name}: {}",
+                t0.elapsed().as_secs_f32(),
+                rows.iter()
+                    .map(|(a, b)| format!("{a:.3}/{b:.3}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            per_model.push(rows);
+        }
+        let mut avg = vec![(0.0f32, 0.0f32); TABLE4_MODELS.len()];
+        for (ri, &ratio) in RATIOS.iter().enumerate() {
+            let mut row = vec![dataset.to_string(), format!("{:.1}%", ratio * 100.0)];
+            let best_mse = per_model
+                .iter()
+                .map(|m| m[ri].0)
+                .fold(f32::INFINITY, f32::min);
+            let best_mae = per_model
+                .iter()
+                .map(|m| m[ri].1)
+                .fold(f32::INFINITY, f32::min);
+            for (mi, m) in per_model.iter().enumerate() {
+                row.push(fmt_metric(m[ri].0));
+                row.push(fmt_metric(m[ri].1));
+                avg[mi].0 += m[ri].0 / RATIOS.len() as f32;
+                avg[mi].1 += m[ri].1 / RATIOS.len() as f32;
+                if m[ri].0 <= best_mse + 1e-6 {
+                    first_counts[mi] += 1;
+                }
+                if m[ri].1 <= best_mae + 1e-6 {
+                    first_counts[mi] += 1;
+                }
+            }
+            table.push_row(row);
+        }
+        let mut row = vec![dataset.to_string(), "Avg".to_string()];
+        for (mse, mae) in &avg {
+            row.push(fmt_metric(*mse));
+            row.push(fmt_metric(*mae));
+        }
+        table.push_row(row);
+    }
+    let mut row = vec!["1st".to_string(), "Count".to_string()];
+    for c in &first_counts {
+        row.push(c.to_string());
+        row.push(String::new());
+    }
+    table.push_row(row);
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table5", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

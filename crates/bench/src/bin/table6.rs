@@ -1,0 +1,68 @@
+//! Regenerates **Table VI** — architecture ablations: TS3Net vs `w/o TD`,
+//! `w/o TF-Block` and `w/o Both` on ETTm1, Electricity, Traffic and
+//! Exchange.
+
+use std::time::Instant;
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table};
+
+const DATASETS: [&str; 4] = ["ETTm1", "Electricity", "Traffic", "Exchange"];
+const VARIANTS: [&str; 4] = [
+    "TS3Net w/o TD",
+    "TS3Net w/o TF-Block",
+    "TS3Net w/o Both",
+    "TS3Net",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    println!(
+        "TS3Net reproduction - Table VI (architecture ablations), profile `{}`\n",
+        profile.name
+    );
+    let mut columns = vec!["Variant".to_string(), "Metric".to_string()];
+    let datasets: Vec<&str> = if profile.name == "smoke" {
+        vec![DATASETS[0]]
+    } else {
+        DATASETS.to_vec()
+    };
+    for d in &datasets {
+        for h in horizons_for(d, &profile) {
+            columns.push(format!("{d}-{h}"));
+        }
+        columns.push(format!("{d}-Avg"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table VI: Ablations on model architecture", &col_refs);
+    let t0 = Instant::now();
+    for variant in VARIANTS {
+        let mut mse_row = vec![variant.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![variant.to_string(), "MAE".to_string()];
+        for dataset in &datasets {
+            let horizons = horizons_for(dataset, &profile);
+            let mut sum = (0.0f32, 0.0f32);
+            for &h in &horizons {
+                let r = run_forecast_cell(variant, dataset, h, &profile);
+                eprintln!(
+                    "[{:>7.1}s] {variant} {dataset} H={h}: mse={:.3} mae={:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    r.mse,
+                    r.mae
+                );
+                mse_row.push(fmt_metric(r.mse));
+                mae_row.push(fmt_metric(r.mae));
+                sum.0 += r.mse / horizons.len() as f32;
+                sum.1 += r.mae / horizons.len() as f32;
+            }
+            mse_row.push(fmt_metric(sum.0));
+            mae_row.push(fmt_metric(sum.1));
+        }
+        table.push_row(mse_row);
+        table.push_row(mae_row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table6", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table VII** — triple decomposition vs the conventional
+//! trend-seasonal decomposition: TSD-CNN and TSD-Trans against TS3Net on
+//! ETTm1, ETTm2 and Exchange.
+
+use std::time::Instant;
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table};
+
+const DATASETS: [&str; 3] = ["ETTm1", "ETTm2", "Exchange"];
+const MODELS: [&str; 3] = ["TSD-CNN", "TSD-Trans", "TS3Net"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    println!(
+        "TS3Net reproduction - Table VII (triple vs trend-seasonal decomposition), profile `{}`\n",
+        profile.name
+    );
+    let datasets: Vec<&str> = if profile.name == "smoke" {
+        vec![DATASETS[0]]
+    } else {
+        DATASETS.to_vec()
+    };
+    let mut columns = vec!["Dataset".to_string(), "Metric".to_string()];
+    for m in MODELS {
+        for h in horizons_for(datasets[0], &profile) {
+            columns.push(format!("{m}-{h}"));
+        }
+        columns.push(format!("{m}-Avg"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Table VII: Triple Decomposition vs Trend-Seasonal Decomposition",
+        &col_refs,
+    );
+    let t0 = Instant::now();
+    for dataset in &datasets {
+        let horizons = horizons_for(dataset, &profile);
+        let mut mse_row = vec![dataset.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![dataset.to_string(), "MAE".to_string()];
+        for model in MODELS {
+            let mut sum = (0.0f32, 0.0f32);
+            for &h in &horizons {
+                let r = run_forecast_cell(model, dataset, h, &profile);
+                eprintln!(
+                    "[{:>7.1}s] {dataset} {model} H={h}: mse={:.3} mae={:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    r.mse,
+                    r.mae
+                );
+                mse_row.push(fmt_metric(r.mse));
+                mae_row.push(fmt_metric(r.mae));
+                sum.0 += r.mse / horizons.len() as f32;
+                sum.1 += r.mae / horizons.len() as f32;
+            }
+            mse_row.push(fmt_metric(sum.0));
+            mae_row.push(fmt_metric(sum.1));
+        }
+        table.push_row(mse_row);
+        table.push_row(mae_row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table7", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

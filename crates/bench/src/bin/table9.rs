@@ -1,0 +1,76 @@
+//! Regenerates **Table IX** — sensitivity to the number of spectral
+//! sub-bands lambda. The paper sweeps {50, 100, 150, 200} at scale; the
+//! CPU-scaled analog sweeps {4, 8, 12, 16} (same x2 spacing around the
+//! default), verifying the same plateau.
+
+use std::time::Instant;
+use ts3_baselines::build_forecaster;
+use ts3_bench::{
+    cell_configs, fmt_metric, lookback_for, prepare_task, spec, train_forecaster,
+    RunProfile, Table,
+};
+
+const DATASETS: [&str; 3] = ["ETTh1", "ETTh2", "Exchange"];
+const LAMBDAS: [usize; 4] = [4, 8, 12, 16];
+
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = RunProfile::from_args(&args);
+    println!(
+        "TS3Net reproduction - Table IX (lambda sensitivity; paper {{50,100,150,200}} -> scaled {{4,8,12,16}}), profile `{}`\n",
+        profile.name
+    );
+    let datasets: Vec<&str> = if profile.name == "smoke" {
+        vec![DATASETS[0]]
+    } else {
+        DATASETS.to_vec()
+    };
+    let mut columns = vec!["lambda".to_string(), "Metric".to_string()];
+    for d in &datasets {
+        for h in ts3_bench::sweep_horizons(d, &profile) {
+            columns.push(format!("{d}-{h}"));
+        }
+        columns.push(format!("{d}-Avg"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table IX: Hyper-parameter sensitivity (lambda)", &col_refs);
+    let t0 = Instant::now();
+    for &lambda in &LAMBDAS {
+        let default_marker = if lambda == 8 { " (default)" } else { "" };
+        let mut mse_row = vec![format!("{lambda}{default_marker}"), "MSE".to_string()];
+        let mut mae_row = vec![format!("{lambda}{default_marker}"), "MAE".to_string()];
+        for dataset in &datasets {
+            let s = spec(dataset);
+            let lookback = lookback_for(dataset);
+            let horizons = ts3_bench::sweep_horizons(dataset, &profile);
+            let mut sum = (0.0f32, 0.0f32);
+            for &h in &horizons {
+                let task = prepare_task(&s, lookback, h, &profile);
+                let (cfg, ts3) = cell_configs(task.channels(), lookback, h, &profile);
+                let ts3 = ts3.with_lambda(lambda);
+                let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
+                let r = train_forecaster(model.as_ref(), &task, &profile);
+                eprintln!(
+                    "[{:>7.1}s] lambda={lambda} {dataset} H={h}: mse={:.3} mae={:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    r.mse,
+                    r.mae
+                );
+                mse_row.push(fmt_metric(r.mse));
+                mae_row.push(fmt_metric(r.mae));
+                sum.0 += r.mse / horizons.len() as f32;
+                sum.1 += r.mae / horizons.len() as f32;
+            }
+            mse_row.push(fmt_metric(sum.0));
+            mae_row.push(fmt_metric(sum.1));
+        }
+        table.push_row(mse_row);
+        table.push_row(mae_row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&ts3_bench::csv_stem("table9", profile.name)) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment definitions shared by the table binaries: which datasets,
+//! horizons and models each paper table uses, and a one-call "run one
+//! cell" entry point.
+
+use crate::profile::RunProfile;
+use crate::runner::{prepare_task, train_forecaster, CellResult};
+use ts3_baselines::{build_forecaster, BaselineConfig};
+use ts3_data::{spec_by_name, SeriesSpec};
+use ts3net_core::TS3NetConfig;
+
+/// The forecasting benchmark list of Table IV (ILI uses lookback 36 and
+/// short horizons, everything else lookback 96).
+pub const TABLE4_DATASETS: [&str; 9] = [
+    "ETTm1", "ETTm2", "ETTh1", "ETTh2", "Electricity", "Traffic", "Weather", "Exchange", "ILI",
+];
+
+/// The imputation benchmark list of Table V.
+pub const TABLE5_DATASETS: [&str; 5] = ["ETTm1", "ETTm2", "ETTh1", "ETTh2", "Weather"];
+
+/// Lookback for a dataset (paper: 36 for ILI, 96 otherwise).
+pub fn lookback_for(dataset: &str) -> usize {
+    if dataset == "ILI" {
+        36
+    } else {
+        96
+    }
+}
+
+/// The paper's horizon grid for a dataset.
+pub fn paper_horizons(dataset: &str) -> Vec<usize> {
+    if dataset == "ILI" {
+        vec![24, 36, 48, 60]
+    } else {
+        vec![96, 192, 336, 720]
+    }
+}
+
+/// The horizon grid actually run under a profile (quick trims to the
+/// ends of the range; full runs the paper grid).
+pub fn horizons_for(dataset: &str, profile: &RunProfile) -> Vec<usize> {
+    let all = paper_horizons(dataset);
+    match profile.name {
+        "smoke" => vec![all[0]],
+        "quick" => vec![all[0], all[2]],
+        _ => all,
+    }
+}
+
+
+/// Horizon grid for the TS3Net-only sweep tables (VIII, IX): these grids
+/// multiply rows x rhos/lambdas, so `quick` keeps a single horizon
+/// (use `--full` for the paper grid).
+pub fn sweep_horizons(dataset: &str, profile: &RunProfile) -> Vec<usize> {
+    let all = horizons_for(dataset, profile);
+    if profile.name == "quick" {
+        vec![all[0]]
+    } else {
+        all
+    }
+}
+
+/// Build the per-cell model configurations for a dataset with `c`
+/// channels under a profile.
+pub fn cell_configs(
+    c: usize,
+    lookback: usize,
+    horizon: usize,
+    profile: &RunProfile,
+) -> (BaselineConfig, TS3NetConfig) {
+    if profile.name == "full" {
+        let mut ts3 = TS3NetConfig::scaled(c, lookback, horizon);
+        ts3.lambda = 12;
+        ts3.d_model = TS3NetConfig::paper_d_model(c, 8, 32);
+        (BaselineConfig::scaled(c, lookback, horizon), ts3)
+    } else {
+        (
+            BaselineConfig::scaled(c, lookback, horizon),
+            TS3NetConfig::scaled(c, lookback, horizon),
+        )
+    }
+}
+
+/// Dataset spec by name (panics on unknown — the lists above are fixed).
+pub fn spec(dataset: &str) -> SeriesSpec {
+    spec_by_name(dataset).unwrap_or_else(|| panic!("unknown dataset `{dataset}`"))
+}
+
+/// Train + evaluate one (model, dataset, horizon) forecasting cell.
+pub fn run_forecast_cell(
+    model_name: &str,
+    dataset: &str,
+    horizon: usize,
+    profile: &RunProfile,
+) -> CellResult {
+    let s = spec(dataset);
+    let lookback = lookback_for(dataset);
+    let task = prepare_task(&s, lookback, horizon, profile);
+    let (cfg, ts3) = cell_configs(task.channels(), lookback, horizon, profile);
+    let model = build_forecaster(model_name, &cfg, &ts3, profile.seed);
+    train_forecaster(model.as_ref(), &task, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_grids_match_paper() {
+        assert_eq!(paper_horizons("ETTh1"), vec![96, 192, 336, 720]);
+        assert_eq!(paper_horizons("ILI"), vec![24, 36, 48, 60]);
+        assert_eq!(lookback_for("ILI"), 36);
+        assert_eq!(lookback_for("Traffic"), 96);
+    }
+
+    #[test]
+    fn quick_profile_trims_horizons() {
+        let q = RunProfile::quick();
+        assert_eq!(horizons_for("ETTh1", &q), vec![96, 336]);
+        let f = RunProfile::full();
+        assert_eq!(horizons_for("ETTh1", &f).len(), 4);
+        let s = RunProfile::smoke();
+        assert_eq!(horizons_for("ILI", &s), vec![24]);
+    }
+
+    #[test]
+    fn smoke_cell_runs_end_to_end() {
+        let profile = RunProfile::smoke();
+        let r = run_forecast_cell("DLinear", "ETTh1", 24, &profile);
+        assert!(r.mse.is_finite() && r.mse > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ts3-bench
+//!
+//! Experiment harness for the TS3Net reproduction. Each binary in
+//! `src/bin/` regenerates one table or figure from the paper's
+//! evaluation section; the shared pieces live here:
+//!
+//! * [`profile`] — smoke / quick / full compute profiles;
+//! * [`runner`] — the train/early-stop/evaluate loop (Adam, patience 3,
+//!   MSE/MAE) for forecasting and imputation;
+//! * [`report`] — aligned console tables + CSV persistence into
+//!   `results/`;
+//! * [`viz`] — ASCII line plots and heat maps for the figures.
+
+pub mod experiments;
+pub mod profile;
+pub mod report;
+pub mod runner;
+pub mod viz;
+
+pub use experiments::{cell_configs, horizons_for, lookback_for, paper_horizons, run_forecast_cell, spec, sweep_horizons, TABLE4_DATASETS, TABLE5_DATASETS};
+pub use profile::RunProfile;
+pub use report::{csv_stem, fmt_metric, results_dir, Table};
+pub use runner::{
+    eval_forecaster, eval_imputer, mean_fill_baseline, persistence_baseline, prepare_task,
+    train_forecaster, train_imputer, CellResult,
+};

@@ -1,0 +1,158 @@
+//! Result tables: fixed-width console rendering (mirroring the paper's
+//! row/column layout) and CSV persistence under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A rectangular result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the table as CSV into `results/<stem>.csv` (searching for the
+    /// workspace `results/` directory from the current directory upward).
+    pub fn write_csv(&self, stem: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Locate the workspace `results/` directory (falls back to `./results`).
+pub fn results_dir() -> PathBuf {
+    for base in ["results", "../results", "../../results"] {
+        let p = PathBuf::from(base);
+        if p.exists() {
+            return p;
+        }
+    }
+    PathBuf::from("results")
+}
+
+
+/// CSV stem for a profile: the default `quick` profile owns the canonical
+/// `<base>.csv`; other profiles write `<base>_<profile>.csv` so probe and
+/// smoke runs never clobber real results.
+pub fn csv_stem(base: &str, profile_name: &str) -> String {
+    if profile_name == "quick" {
+        base.to_string()
+    } else {
+        format!("{base}_{profile_name}")
+    }
+}
+
+/// Format an f32 metric with the paper's 3-decimal convention.
+pub fn fmt_metric(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Model", "MSE", "MAE"]);
+        t.push_row(vec!["TS3Net".into(), "0.324".into(), "0.362".into()]);
+        t.push_row(vec!["VeryLongModelName".into(), "1.0".into(), "2.0".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("TS3Net"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+        // Column alignment: both rows have the metric at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let i1 = lines[3].find("0.324").unwrap();
+        let i2 = lines[4].find("1.0").unwrap();
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_metric_three_decimals() {
+        assert_eq!(fmt_metric(0.32449), "0.324");
+        assert_eq!(fmt_metric(1.5), "1.500");
+    }
+}

@@ -1,0 +1,267 @@
+//! The train/evaluate loop shared by every experiment: Adam with the
+//! paper's schedule, early stopping on validation loss (patience 3), and
+//! MSE/MAE test metrics.
+
+use crate::profile::RunProfile;
+use ts3_data::{mask_batch, ForecastTask, SeriesSpec, Split};
+use ts3_nn::{lr_type1, mae, masked_mae, masked_mse, mse, Adam, Average, Ctx, Optimizer};
+use ts3_tensor::Tensor;
+use ts3net_core::{ForecastModel, ImputationModel};
+
+/// Result of one (model, dataset, horizon) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// Test mean squared error.
+    pub mse: f32,
+    /// Test mean absolute error.
+    pub mae: f32,
+}
+
+/// Prepare a forecasting task from a dataset spec under a profile:
+/// generate (or load) the raw series, cap wide channel counts, and window
+/// it.
+pub fn prepare_task(
+    spec: &SeriesSpec,
+    lookback: usize,
+    horizon: usize,
+    profile: &RunProfile,
+) -> ForecastTask {
+    let mut spec = spec.clone();
+    // Every split must host at least one (lookback + horizon) window; the
+    // validation/test regions are extended backwards by `lookback`, so
+    // they need `horizon + 1` own points. Add 30% margin for real
+    // batches.
+    let (ft, fv, fte) = spec.split;
+    let needed = [
+        (lookback + horizon + 1) as f32 / ft,
+        (horizon + 1) as f32 / fv,
+        (horizon + 1) as f32 / fte,
+    ]
+    .into_iter()
+    .fold(0.0f32, f32::max)
+        * 1.3;
+    spec.len = ((spec.len as f32 * profile.data_scale) as usize).max(needed.ceil() as usize);
+    let raw = match ts3_data::try_load_benchmark(spec.name) {
+        Some(real) => real,
+        None => spec.generate(profile.seed),
+    };
+    let raw = if raw.shape()[1] > profile.max_channels {
+        raw.narrow(1, 0, profile.max_channels)
+    } else {
+        raw
+    };
+    ForecastTask::new(&raw, lookback, horizon, spec.split)
+}
+
+/// Evaluate a forecaster on one split.
+pub fn eval_forecaster(
+    model: &dyn ForecastModel,
+    task: &ForecastTask,
+    split: Split,
+    profile: &RunProfile,
+) -> CellResult {
+    let mut ctx = Ctx::eval();
+    let mut m1 = Average::new();
+    let mut m2 = Average::new();
+    let batches = task.epoch_batches(split, profile.batch_size, 0, profile.max_eval_batches);
+    for idx in &batches {
+        let (x, y) = task.batch(split, idx);
+        let pred = model.forecast(&x, &mut ctx);
+        m1.push_weighted(mse(pred.value(), &y), idx.len() as f32);
+        m2.push_weighted(mae(pred.value(), &y), idx.len() as f32);
+    }
+    CellResult { mse: m1.mean(), mae: m2.mean() }
+}
+
+/// Train a forecaster with early stopping and return test metrics.
+pub fn train_forecaster(
+    model: &dyn ForecastModel,
+    task: &ForecastTask,
+    profile: &RunProfile,
+) -> CellResult {
+    let mut opt = Adam::new(model.parameters(), profile.lr);
+    let mut ctx = Ctx::train(profile.seed);
+    let mut best_val = f32::INFINITY;
+    let mut bad_epochs = 0usize;
+    for epoch in 0..profile.epochs {
+        opt.set_lr(lr_type1(profile.lr, epoch));
+        let batches = task.epoch_batches(
+            Split::Train,
+            profile.batch_size,
+            profile.seed + epoch as u64,
+            profile.max_train_batches,
+        );
+        for idx in &batches {
+            let (x, y) = task.batch(Split::Train, idx);
+            let loss = model.forecast(&x, &mut ctx).mse_loss(&y);
+            opt.zero_grad();
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+        let val = eval_forecaster(model, task, Split::Val, profile);
+        if val.mse < best_val - 1e-6 {
+            best_val = val.mse;
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs >= profile.patience {
+                break; // early stopping (paper: patience 3)
+            }
+        }
+    }
+    eval_forecaster(model, task, Split::Test, profile)
+}
+
+/// Evaluate an imputer on one split at a mask ratio.
+pub fn eval_imputer(
+    model: &dyn ImputationModel,
+    task: &ForecastTask,
+    split: Split,
+    ratio: f32,
+    profile: &RunProfile,
+) -> CellResult {
+    let mut ctx = Ctx::eval();
+    let mut m1 = Average::new();
+    let mut m2 = Average::new();
+    let batches = task.epoch_batches(split, profile.batch_size, 0, profile.max_eval_batches);
+    for (bi, idx) in batches.iter().enumerate() {
+        let (x, _) = task.batch(split, idx);
+        let mb = mask_batch(&x, ratio, profile.seed + bi as u64);
+        let pred = model.impute(&mb.masked, &mb.mask, &mut ctx);
+        m1.push_weighted(masked_mse(pred.value(), &mb.target, &mb.mask), idx.len() as f32);
+        m2.push_weighted(masked_mae(pred.value(), &mb.target, &mb.mask), idx.len() as f32);
+    }
+    CellResult { mse: m1.mean(), mae: m2.mean() }
+}
+
+/// Train an imputer at a mask ratio and return masked test metrics.
+pub fn train_imputer(
+    model: &dyn ImputationModel,
+    task: &ForecastTask,
+    ratio: f32,
+    profile: &RunProfile,
+) -> CellResult {
+    let mut opt = Adam::new(model.parameters(), profile.lr);
+    let mut ctx = Ctx::train(profile.seed);
+    let mut best_val = f32::INFINITY;
+    let mut bad_epochs = 0usize;
+    for epoch in 0..profile.epochs {
+        opt.set_lr(lr_type1(profile.lr, epoch));
+        let batches = task.epoch_batches(
+            Split::Train,
+            profile.batch_size,
+            profile.seed + 31 * epoch as u64,
+            profile.max_train_batches,
+        );
+        for (bi, idx) in batches.iter().enumerate() {
+            let (x, _) = task.batch(Split::Train, idx);
+            let mb = mask_batch(&x, ratio, profile.seed + (epoch * 1000 + bi) as u64);
+            let loss = model
+                .impute(&mb.masked, &mb.mask, &mut ctx)
+                .masked_mse_loss(&mb.target, &mb.mask);
+            opt.zero_grad();
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+        let val = eval_imputer(model, task, Split::Val, ratio, profile);
+        if val.mse < best_val - 1e-6 {
+            best_val = val.mse;
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs >= profile.patience {
+                break;
+            }
+        }
+    }
+    eval_imputer(model, task, Split::Test, ratio, profile)
+}
+
+/// Mean-fill reference error for imputation (the "do nothing smart"
+/// floor used in sanity tests).
+pub fn mean_fill_baseline(task: &ForecastTask, ratio: f32, profile: &RunProfile) -> CellResult {
+    let mut m1 = Average::new();
+    let mut m2 = Average::new();
+    let batches = task.epoch_batches(Split::Test, profile.batch_size, 0, profile.max_eval_batches);
+    for (bi, idx) in batches.iter().enumerate() {
+        let (x, _) = task.batch(Split::Test, idx);
+        let mb = mask_batch(&x, ratio, profile.seed + bi as u64);
+        let filled = ts3_baselines::mean_fill(&mb.masked, &mb.mask);
+        m1.push_weighted(masked_mse(&filled, &mb.target, &mb.mask), idx.len() as f32);
+        m2.push_weighted(masked_mae(&filled, &mb.target, &mb.mask), idx.len() as f32);
+    }
+    CellResult { mse: m1.mean(), mae: m2.mean() }
+}
+
+/// Persistence (repeat-last-value) forecasting reference.
+pub fn persistence_baseline(task: &ForecastTask, profile: &RunProfile) -> CellResult {
+    let mut m1 = Average::new();
+    let mut m2 = Average::new();
+    let horizon = task.horizon;
+    let batches = task.epoch_batches(Split::Test, profile.batch_size, 0, profile.max_eval_batches);
+    for idx in &batches {
+        let (x, y) = task.batch(Split::Test, idx);
+        let last = x.narrow(1, x.shape()[1] - 1, 1);
+        let pred: Tensor = last.repeat_axis(1, horizon);
+        m1.push_weighted(mse(&pred, &y), idx.len() as f32);
+        m2.push_weighted(mae(&pred, &y), idx.len() as f32);
+    }
+    CellResult { mse: m1.mean(), mae: m2.mean() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts3_baselines::{BaselineConfig, DLinear};
+    use ts3_data::spec_by_name;
+
+    #[test]
+    fn prepare_task_caps_channels_and_scales_length() {
+        let spec = spec_by_name("Electricity").unwrap();
+        let profile = RunProfile::smoke();
+        let task = prepare_task(&spec, 24, 12, &profile);
+        assert!(task.channels() <= profile.max_channels);
+        assert!(!task.is_empty(Split::Test));
+    }
+
+    #[test]
+    fn train_forecaster_beats_untrained() {
+        let spec = spec_by_name("ETTh1").unwrap();
+        let mut profile = RunProfile::smoke();
+        profile.max_train_batches = Some(10);
+        profile.epochs = 2;
+        let task = prepare_task(&spec, 24, 12, &profile);
+        let cfg = BaselineConfig::scaled(task.channels(), 24, 12);
+        let model = DLinear::new(&cfg, 7);
+        let before = eval_forecaster(&model, &task, Split::Test, &profile);
+        let after = train_forecaster(&model, &task, &profile);
+        assert!(
+            after.mse < before.mse,
+            "training did not help: {} -> {}",
+            before.mse,
+            after.mse
+        );
+    }
+
+    #[test]
+    fn persistence_baseline_is_finite() {
+        let spec = spec_by_name("Exchange").unwrap();
+        let profile = RunProfile::smoke();
+        let task = prepare_task(&spec, 24, 12, &profile);
+        let r = persistence_baseline(&task, &profile);
+        assert!(r.mse.is_finite() && r.mae.is_finite());
+        assert!(r.mse > 0.0);
+    }
+
+    #[test]
+    fn mean_fill_baseline_is_finite() {
+        let spec = spec_by_name("ETTh1").unwrap();
+        let profile = RunProfile::smoke();
+        let task = prepare_task(&spec, 24, 24, &profile);
+        let r = mean_fill_baseline(&task, 0.25, &profile);
+        assert!(r.mse.is_finite());
+        assert!(r.mse > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Terminal visualisation for the paper's figures: ASCII line plots
+//! (Fig. 3–4 forecast showcases) and heat maps (Fig. 5 TF distribution /
+//! spectrum gradient), plus CSV dumps for external plotting.
+
+/// Render one or more series as an ASCII line plot. Each series gets its
+/// own glyph; later series overwrite earlier ones on collisions.
+pub fn line_plot(series: &[(&str, &[f32])], height: usize) -> String {
+    assert!(!series.is_empty(), "line_plot needs at least one series");
+    let width = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if width == 0 {
+        return String::new();
+    }
+    let min = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f32::INFINITY, f32::min);
+    let max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+    let glyphs = ['*', '+', 'o', 'x', '#'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (x, &v) in s.iter().enumerate() {
+            let row = ((max - v) / span * (height - 1) as f32).round() as usize;
+            grid[row.min(height - 1)][x] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("max {max:.3}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("min {min:.3}\n"));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", glyphs[si % glyphs.len()], name));
+    }
+    out
+}
+
+/// Render a `[rows, cols]` grid as an ASCII heat map using density
+/// characters (low -> high: ` .:-=+*#%@`).
+pub fn heat_map(values: &[f32], rows: usize, cols: usize) -> String {
+    assert_eq!(values.len(), rows * cols, "heat_map: size mismatch");
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+    let mut out = String::new();
+    for r in 0..rows {
+        out.push('|');
+        for c in 0..cols {
+            let v = (values[r * cols + c] - min) / span;
+            let idx = (v * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("range [{min:.3}, {max:.3}]\n"));
+    out
+}
+
+/// Downsample a grid to at most `max_rows x max_cols` by block averaging
+/// (so wide TF distributions fit a terminal).
+pub fn downsample_grid(
+    values: &[f32],
+    rows: usize,
+    cols: usize,
+    max_rows: usize,
+    max_cols: usize,
+) -> (Vec<f32>, usize, usize) {
+    let rstep = rows.div_ceil(max_rows).max(1);
+    let cstep = cols.div_ceil(max_cols).max(1);
+    let out_rows = rows.div_ceil(rstep);
+    let out_cols = cols.div_ceil(cstep);
+    let mut out = vec![0.0f32; out_rows * out_cols];
+    for orow in 0..out_rows {
+        for ocol in 0..out_cols {
+            let mut acc = 0.0f32;
+            let mut n = 0.0f32;
+            for r in orow * rstep..((orow + 1) * rstep).min(rows) {
+                for c in ocol * cstep..((ocol + 1) * cstep).min(cols) {
+                    acc += values[r * cols + c];
+                    n += 1.0;
+                }
+            }
+            out[orow * out_cols + ocol] = acc / n.max(1.0);
+        }
+    }
+    (out, out_rows, out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_contains_all_legends() {
+        let a: Vec<f32> = (0..20).map(|i| (i as f32 * 0.4).sin()).collect();
+        let b: Vec<f32> = (0..20).map(|i| (i as f32 * 0.4).cos()).collect();
+        let s = line_plot(&[("truth", &a), ("pred", &b)], 8);
+        assert!(s.contains("truth"));
+        assert!(s.contains("pred"));
+        assert!(s.lines().count() > 8);
+    }
+
+    #[test]
+    fn line_plot_constant_series_is_finite() {
+        let a = vec![1.0f32; 10];
+        let s = line_plot(&[("flat", &a)], 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn heat_map_uses_ramp_extremes() {
+        let v = vec![0.0, 1.0, 0.5, 0.25];
+        let s = heat_map(&v, 2, 2);
+        assert!(s.contains('@'));
+        assert!(s.contains(' '));
+        assert!(s.contains("range"));
+    }
+
+    #[test]
+    fn downsample_grid_averages_blocks() {
+        let v: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let (d, r, c) = downsample_grid(&v, 4, 4, 2, 2);
+        assert_eq!((r, c), (2, 2));
+        // Top-left block: mean of {0,1,4,5} = 2.5
+        assert!((d[0] - 2.5).abs() < 1e-6);
+        // Bottom-right block: mean of {10,11,14,15} = 12.5
+        assert!((d[3] - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let v = vec![1.0, 2.0];
+        let (d, r, c) = downsample_grid(&v, 1, 2, 10, 10);
+        assert_eq!((r, c), (1, 2));
+        assert_eq!(d, v);
+    }
+}

@@ -1,0 +1,153 @@
+//! TS3Net hyper-parameter configuration (paper Table III), with the
+//! paper-scale profile and the CPU-scaled default profile used by the
+//! reproduction harness.
+
+use ts3_signal::WaveletKind;
+
+/// Ablation switches (paper Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ablation {
+    /// Remove the Triple Decomposition (trend split + S-GD layers).
+    pub without_td: bool,
+    /// Replace the TF-Block's wavelet 2-D expansion with a plain residual
+    /// MLP block (the paper's "replicate-and-concatenate only" control).
+    pub without_tf_block: bool,
+}
+
+impl Ablation {
+    /// Full model.
+    pub const FULL: Ablation = Ablation { without_td: false, without_tf_block: false };
+    /// `w/o TD` row.
+    pub const NO_TD: Ablation = Ablation { without_td: true, without_tf_block: false };
+    /// `w/o TF-Block` row.
+    pub const NO_TF: Ablation = Ablation { without_td: false, without_tf_block: true };
+    /// `w/o Both` row.
+    pub const NO_BOTH: Ablation = Ablation { without_td: true, without_tf_block: true };
+}
+
+/// Full model configuration.
+#[derive(Debug, Clone)]
+pub struct TS3NetConfig {
+    /// Number of input channels `C`.
+    pub c_in: usize,
+    /// Lookback length `T`.
+    pub lookback: usize,
+    /// Prediction horizon `T_pred`.
+    pub horizon: usize,
+    /// Model width `d_model` (paper: `min(max(2^ceil(log C), d_min), d_max)`).
+    pub d_model: usize,
+    /// Number of spectral sub-bands (the paper's lambda; 100 at paper
+    /// scale).
+    pub lambda: usize,
+    /// Number of stacked TF-Blocks (paper default 2).
+    pub n_blocks: usize,
+    /// Wavelet generating functions, one per TF-Block branch (the paper's
+    /// `m` branches).
+    pub branches: Vec<WaveletKind>,
+    /// Sub-series length `T_f`; `None` = dominant FFT period per batch.
+    pub t_f: Option<usize>,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Hidden width of the inception conv backbone.
+    pub d_hidden: usize,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+impl TS3NetConfig {
+    /// The paper's `d_model` rule: `min(max(2^ceil(log2 C), d_min), d_max)`.
+    pub fn paper_d_model(c_in: usize, d_min: usize, d_max: usize) -> usize {
+        let pow = (c_in.max(1) as f32).log2().ceil() as u32;
+        (1usize << pow).clamp(d_min, d_max)
+    }
+
+    /// CPU-scaled profile: small widths so a full table sweep fits the
+    /// single-core budget (DESIGN.md §1 documents the substitution).
+    pub fn scaled(c_in: usize, lookback: usize, horizon: usize) -> TS3NetConfig {
+        TS3NetConfig {
+            c_in,
+            lookback,
+            horizon,
+            d_model: Self::paper_d_model(c_in, 8, 16),
+            lambda: 8,
+            n_blocks: 2,
+            branches: vec![WaveletKind::ComplexGaussian, WaveletKind::ComplexGaussian1],
+            t_f: None,
+            dropout: 0.1,
+            d_hidden: 8,
+            ablation: Ablation::FULL,
+        }
+    }
+
+    /// Paper-scale profile (Table III, long-term forecasting row).
+    pub fn paper(c_in: usize, lookback: usize, horizon: usize) -> TS3NetConfig {
+        TS3NetConfig {
+            c_in,
+            lookback,
+            horizon,
+            d_model: Self::paper_d_model(c_in, 32, 512),
+            lambda: 100,
+            n_blocks: 2,
+            branches: vec![WaveletKind::ComplexGaussian, WaveletKind::ComplexGaussian1],
+            t_f: None,
+            dropout: 0.1,
+            d_hidden: 32,
+            ablation: Ablation::FULL,
+        }
+    }
+
+    /// Override the ablation switches.
+    pub fn with_ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// Override lambda (Table IX sweep).
+    pub fn with_lambda(mut self, lambda: usize) -> Self {
+        self.lambda = lambda;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_d_model_rule() {
+        // C=7 -> 2^3 = 8, clamped to [32, 512] -> 32.
+        assert_eq!(TS3NetConfig::paper_d_model(7, 32, 512), 32);
+        // C=321 -> 2^9 = 512.
+        assert_eq!(TS3NetConfig::paper_d_model(321, 32, 512), 512);
+        // C=862 -> 2^10 = 1024, clamped to 512.
+        assert_eq!(TS3NetConfig::paper_d_model(862, 32, 512), 512);
+        // Scaled: C=7 -> 8 within [8, 16].
+        assert_eq!(TS3NetConfig::paper_d_model(7, 8, 16), 8);
+    }
+
+    #[test]
+    fn scaled_profile_is_small() {
+        let cfg = TS3NetConfig::scaled(7, 96, 96);
+        assert!(cfg.d_model <= 16);
+        assert!(cfg.lambda <= 16);
+        assert_eq!(cfg.n_blocks, 2);
+        assert_eq!(cfg.branches.len(), 2);
+    }
+
+    #[test]
+    fn paper_profile_matches_table3() {
+        let cfg = TS3NetConfig::paper(7, 96, 192);
+        assert_eq!(cfg.lambda, 100);
+        assert_eq!(cfg.d_model, 32);
+        assert_eq!(cfg.horizon, 192);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let cfg = TS3NetConfig::scaled(7, 96, 96).with_ablation(Ablation::NO_TD);
+        assert!(cfg.ablation.without_td);
+        assert!(!cfg.ablation.without_tf_block);
+        let cfg = cfg.with_lambda(4);
+        assert_eq!(cfg.lambda, 4);
+    }
+}

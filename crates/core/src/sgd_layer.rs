@@ -1,0 +1,161 @@
+//! The differentiable Spectrum-Gradient Decomposition layer (paper Eq.
+//! 9–11), inserted between adjacent TF-Blocks (Fig. 2).
+
+use crate::ops::{cwt_amplitude, iwt};
+use std::rc::Rc;
+use ts3_autograd::Var;
+use ts3_signal::CwtPlan;
+
+/// Output of one S-GD application.
+pub struct SgdOutput {
+    /// Regular part `X_r = X - Delta_1D`, `[B, T, D]`.
+    pub regular: Var,
+    /// Fluctuant part `Delta_2D`, `[B, D, lambda, T]`.
+    pub fluctuant_2d: Var,
+    /// `Delta_1D = IWT(Delta_2D)`, `[B, T, D]`.
+    pub delta_1d: Var,
+}
+
+/// S-GD layer bound to one wavelet plan.
+pub struct SgdLayer {
+    plan: Rc<CwtPlan>,
+}
+
+impl SgdLayer {
+    /// Build an S-GD layer for series of the plan's length.
+    pub fn new(plan: Rc<CwtPlan>) -> Self {
+        SgdLayer { plan }
+    }
+
+    /// Apply the decomposition: split the TF distribution into
+    /// length-`t_f` chunks, difference adjacent chunks (`S^0 = 0`), map
+    /// the difference back to 1-D, and subtract (Eq. 9–10).
+    pub fn forward(&self, x: &Var, t_f: usize) -> SgdOutput {
+        assert_eq!(x.shape().len(), 3, "SgdLayer expects [B, T, D]");
+        let t = x.shape()[1];
+        let t_f = t_f.clamp(1, t);
+        let tf = cwt_amplitude(x, &self.plan); // [B, D, lambda, T]
+        // Delta[t] = TF[t] - TF[t - t_f] (zero for t < t_f): shift the TF
+        // grid right by t_f along the time axis and subtract.
+        let delta_2d = if t_f >= t {
+            tf.clone()
+        } else {
+            let shifted = tf.narrow(3, 0, t - t_f).pad_axis(3, t_f, 0);
+            tf.sub(&shifted)
+        };
+        let delta_1d = iwt(&delta_2d, &self.plan);
+        let regular = x.sub(&delta_1d);
+        SgdOutput { regular, fluctuant_2d: delta_2d, delta_1d }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts3_signal::{spectrum_gradient, WaveletKind};
+    use ts3_tensor::Tensor;
+
+    fn plan(t: usize, lambda: usize) -> Rc<CwtPlan> {
+        Rc::new(CwtPlan::new(t, lambda, WaveletKind::ComplexGaussian))
+    }
+
+    #[test]
+    fn sgd_shapes() {
+        let p = plan(32, 4);
+        let layer = SgdLayer::new(p);
+        let x = Var::constant(Tensor::randn(&[2, 32, 3], 1));
+        let out = layer.forward(&x, 8);
+        assert_eq!(out.regular.shape(), &[2, 32, 3]);
+        assert_eq!(out.fluctuant_2d.shape(), &[2, 3, 4, 32]);
+        assert_eq!(out.delta_1d.shape(), &[2, 32, 3]);
+    }
+
+    #[test]
+    fn sgd_identity_decomposition() {
+        // regular + delta_1d == x exactly (Eq. 10 is an exact split).
+        let p = plan(24, 4);
+        let layer = SgdLayer::new(p);
+        let x = Tensor::randn(&[1, 24, 2], 2);
+        let out = layer.forward(&Var::constant(x.clone()), 6);
+        let rec = out.regular.value().add(out.delta_1d.value());
+        assert!(rec.allclose(&x, 1e-4));
+    }
+
+    #[test]
+    fn sgd_matches_reference_spectrum_gradient() {
+        // The Var-side chunk-difference must agree with the data-side
+        // reference implementation in ts3-signal.
+        let t = 20;
+        let t_f = 6;
+        let p = plan(t, 3);
+        let layer = SgdLayer::new(p.clone());
+        let x = Tensor::randn(&[1, t, 1], 3);
+        let out = layer.forward(&Var::constant(x.clone()), t_f);
+        let col: Vec<f32> = (0..t).map(|ti| x.at(&[0, ti, 0])).collect();
+        let tf_ref = p.amplitude_tensor(&col);
+        // Add the epsilon guard the Var op uses before differencing.
+        let tf_ref = tf_ref.map(|v| (v * v + 1e-8).sqrt());
+        let want = spectrum_gradient(&tf_ref, t_f);
+        for li in 0..3 {
+            for ti in 0..t {
+                let got = out.fluctuant_2d.value().at(&[0, 0, li, ti]);
+                let w = want.at(&[li, ti]);
+                assert!((got - w).abs() < 1e-3, "({li},{ti}): {got} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_periodic_input_has_small_fluctuant_tail() {
+        let t = 48;
+        let period = 12;
+        let p = plan(t, 6);
+        let layer = SgdLayer::new(p);
+        let x: Vec<f32> = (0..t)
+            .map(|i| (std::f32::consts::TAU * i as f32 / period as f32).sin())
+            .collect();
+        let xt = Tensor::from_vec(x, &[1, t, 1]);
+        let out = layer.forward(&Var::constant(xt), period);
+        // Beyond the first chunk the TF grid repeats -> small delta.
+        let d = out.fluctuant_2d.value();
+        let tail: f32 = (period..t)
+            .flat_map(|ti| (0..6).map(move |li| (li, ti)))
+            .map(|(li, ti)| d.at(&[0, 0, li, ti]).abs())
+            .sum();
+        let head: f32 = (0..period)
+            .flat_map(|ti| (0..6).map(move |li| (li, ti)))
+            .map(|(li, ti)| d.at(&[0, 0, li, ti]).abs())
+            .sum();
+        assert!(tail < head, "tail {tail} should be smaller than head {head}");
+    }
+
+    #[test]
+    fn sgd_gradient_flows_to_input() {
+        let p = plan(16, 3);
+        let layer = SgdLayer::new(p);
+        let x = Var::constant(Tensor::randn(&[1, 16, 2], 4));
+        let out = layer.forward(&x, 4);
+        out.regular.square().sum().backward();
+        let g = x.grad().unwrap();
+        assert!(g.norm() > 0.0);
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn sgd_tf_larger_than_t_passes_whole_grid() {
+        let p = plan(10, 2);
+        let layer = SgdLayer::new(p.clone());
+        let x = Tensor::randn(&[1, 10, 1], 5);
+        let out = layer.forward(&Var::constant(x.clone()), 999);
+        // t_f >= T: single chunk, Delta = TF itself.
+        let col: Vec<f32> = (0..10).map(|ti| x.at(&[0, ti, 0])).collect();
+        let want = p.amplitude(&col);
+        for li in 0..2 {
+            for ti in 0..10 {
+                let got = out.fluctuant_2d.value().at(&[0, 0, li, ti]);
+                let w = (want[li * 10 + ti].powi(2) + 1e-8).sqrt();
+                assert!((got - w).abs() < 1e-4);
+            }
+        }
+    }
+}

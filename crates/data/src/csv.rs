@@ -1,0 +1,120 @@
+//! Minimal CSV loader for real benchmark files: if the user drops the
+//! original `ETTh1.csv` etc. into `data/`, the harness trains on the real
+//! series instead of the synthetic stand-in.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use ts3_tensor::Tensor;
+
+/// Load a numeric CSV into `[N, C]`. The first row is treated as a header
+/// if any field fails to parse as a number; a leading date column (any
+/// unparsable first field) is skipped on every row.
+pub fn load_csv(path: &Path) -> io::Result<Tensor> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parse CSV text; see [`load_csv`].
+pub fn parse_csv(text: &str) -> Result<Tensor, String> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Skip a leading non-numeric column (dates).
+        let start = usize::from(fields[0].parse::<f32>().is_err());
+        let parsed: Result<Vec<f32>, _> =
+            fields[start..].iter().map(|f| f.parse::<f32>()).collect();
+        match parsed {
+            Ok(vals) if !vals.is_empty() => {
+                if let Some(w) = width {
+                    if vals.len() != w {
+                        return Err(format!(
+                            "line {}: expected {} numeric fields, got {}",
+                            ln + 1,
+                            w,
+                            vals.len()
+                        ));
+                    }
+                } else {
+                    width = Some(vals.len());
+                }
+                rows.push(vals);
+            }
+            _ if ln == 0 => continue, // header row
+            Err(e) => return Err(format!("line {}: {e}", ln + 1)),
+            Ok(_) => return Err(format!("line {}: no numeric fields", ln + 1)),
+        }
+    }
+    let c = width.ok_or("no data rows")?;
+    let n = rows.len();
+    let mut data = Vec::with_capacity(n * c);
+    for row in rows {
+        data.extend(row);
+    }
+    Ok(Tensor::from_vec(data, &[n, c]))
+}
+
+/// Look for `data/<name>.csv` relative to the workspace root and load it
+/// if present.
+pub fn try_load_benchmark(name: &str) -> Option<Tensor> {
+    let candidates = [
+        format!("data/{name}.csv"),
+        format!("../data/{name}.csv"),
+        format!("../../data/{name}.csv"),
+    ];
+    for cand in candidates {
+        let p = Path::new(&cand);
+        if p.exists() {
+            return load_csv(p).ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numeric_csv() {
+        let t = parse_csv("1.0,2.0\n3.0,4.0\n").unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn skips_header_and_date_column() {
+        let text = "date,HUFL,HULL\n2016-07-01 00:00:00,5.827,2.009\n2016-07-01 01:00:00,5.693,2.076\n";
+        let t = parse_csv(text).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert!((t.at(&[0, 0]) - 5.827).abs() < 1e-4);
+        assert!((t.at(&[1, 1]) - 2.076).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(parse_csv("1,2\n3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("a,b,c\n").is_err());
+    }
+
+    #[test]
+    fn ignores_blank_lines() {
+        let t = parse_csv("1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn missing_benchmark_returns_none() {
+        assert!(try_load_benchmark("definitely-not-a-dataset").is_none());
+    }
+}

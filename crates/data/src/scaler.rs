@@ -1,0 +1,121 @@
+//! Per-channel standardisation, fit on the training split only (the
+//! protocol every baseline paper follows).
+
+use ts3_tensor::Tensor;
+
+/// Per-channel mean/std scaler.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    /// Per-channel means.
+    pub mean: Vec<f32>,
+    /// Per-channel standard deviations (floored at a small epsilon).
+    pub std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fit on a `[N, C]` training slice.
+    pub fn fit(data: &Tensor) -> Self {
+        assert_eq!(data.rank(), 2, "StandardScaler::fit expects [N, C]");
+        let (n, c) = (data.shape()[0], data.shape()[1]);
+        assert!(n > 0, "cannot fit a scaler on an empty series");
+        let mut mean = vec![0.0f64; c];
+        #[allow(clippy::needless_range_loop)] // (i, ch) grid walk
+        for i in 0..n {
+            for ch in 0..c {
+                mean[ch] += data.at(&[i, ch]) as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0f64; c];
+        for i in 0..n {
+            for ch in 0..c {
+                let d = data.at(&[i, ch]) as f64 - mean[ch];
+                var[ch] += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|v| ((v / n as f64).sqrt() as f32).max(1e-6))
+            .collect();
+        StandardScaler {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Standardise a `[.., C]` tensor channel-wise (last axis = channels).
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let c = *data.shape().last().expect("transform: rank >= 1 required");
+        assert_eq!(c, self.mean.len(), "channel count mismatch");
+        let mut out = data.clone();
+        let slice = out.as_mut_slice();
+        for (i, v) in slice.iter_mut().enumerate() {
+            let ch = i % c;
+            *v = (*v - self.mean[ch]) / self.std[ch];
+        }
+        out
+    }
+
+    /// Invert [`StandardScaler::transform`].
+    pub fn inverse_transform(&self, data: &Tensor) -> Tensor {
+        let c = *data.shape().last().expect("inverse_transform: rank >= 1 required");
+        assert_eq!(c, self.mean.len(), "channel count mismatch");
+        let mut out = data.clone();
+        let slice = out.as_mut_slice();
+        for (i, v) in slice.iter_mut().enumerate() {
+            let ch = i % c;
+            *v = *v * self.std[ch] + self.mean[ch];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_computes_channel_statistics() {
+        let data = Tensor::from_vec(vec![1.0, 10.0, 3.0, 30.0], &[2, 2]);
+        let s = StandardScaler::fit(&data);
+        assert_eq!(s.mean, vec![2.0, 20.0]);
+        assert_eq!(s.std, vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn transform_standardises() {
+        let data = Tensor::from_vec(vec![1.0, 10.0, 3.0, 30.0], &[2, 2]);
+        let s = StandardScaler::fit(&data);
+        let z = s.transform(&data);
+        assert_eq!(z.as_slice(), &[-1.0, -1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let data = Tensor::randn(&[50, 3], 5).mul_scalar(4.0).add_scalar(7.0);
+        let s = StandardScaler::fit(&data);
+        let back = s.inverse_transform(&s.transform(&data));
+        assert!(back.allclose(&data, 1e-3));
+    }
+
+    #[test]
+    fn constant_channel_does_not_divide_by_zero() {
+        let data = Tensor::full(&[10, 1], 5.0);
+        let s = StandardScaler::fit(&data);
+        let z = s.transform(&data);
+        assert!(z.all_finite());
+        assert_eq!(z.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn transform_applies_to_3d_batches() {
+        let train = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4, 1]);
+        let s = StandardScaler::fit(&train);
+        let batch = Tensor::from_vec(vec![3.0, 3.0], &[1, 2, 1]);
+        let z = s.transform(&batch);
+        assert_eq!(z.shape(), &[1, 2, 1]);
+        assert!((z.as_slice()[0] - 0.0).abs() < 1e-6);
+    }
+}

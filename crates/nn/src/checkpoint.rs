@@ -1,0 +1,143 @@
+//! Parameter checkpointing: save/load the weights of any model that
+//! exposes its [`Param`] list (every `ForecastModel`/`ImputationModel` in
+//! this workspace) as a JSON file keyed by parameter name.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use ts3_autograd::Param;
+use ts3_tensor::Tensor;
+
+/// Serialisable snapshot of one named tensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TensorRecord {
+    /// Row-major shape.
+    pub shape: Vec<usize>,
+    /// Flat row-major values.
+    pub data: Vec<f32>,
+}
+
+/// A whole-model checkpoint: parameter name -> tensor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Named parameter snapshots (sorted for stable files).
+    pub params: BTreeMap<String, TensorRecord>,
+}
+
+impl Checkpoint {
+    /// Snapshot the current values of a parameter list.
+    ///
+    /// # Panics
+    /// Panics if two parameters share a name (checkpoints would silently
+    /// drop one otherwise).
+    pub fn capture(params: &[Param]) -> Checkpoint {
+        let mut map = BTreeMap::new();
+        for p in params {
+            let rec = TensorRecord {
+                shape: p.shape(),
+                data: p.value().as_slice().to_vec(),
+            };
+            let prev = map.insert(p.name().to_string(), rec);
+            assert!(prev.is_none(), "duplicate parameter name `{}`", p.name());
+        }
+        Checkpoint { params: map }
+    }
+
+    /// Restore the snapshot into a parameter list (matched by name).
+    ///
+    /// Returns an error naming the first missing or shape-mismatched
+    /// parameter, leaving already-written parameters restored.
+    pub fn restore(&self, params: &[Param]) -> Result<(), String> {
+        for p in params {
+            let rec = self
+                .params
+                .get(p.name())
+                .ok_or_else(|| format!("checkpoint missing parameter `{}`", p.name()))?;
+            if rec.shape != p.shape() {
+                return Err(format!(
+                    "shape mismatch for `{}`: checkpoint {:?} vs model {:?}",
+                    p.name(),
+                    rec.shape,
+                    p.shape()
+                ));
+            }
+            p.set_value(Tensor::from_vec(rec.data.clone(), &rec.shape));
+        }
+        Ok(())
+    }
+
+    /// Write to a JSON file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Read from a JSON file.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Total scalar count in the checkpoint.
+    pub fn numel(&self) -> usize {
+        self.params.values().map(|r| r.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<Param> {
+        vec![
+            Param::new("a", Tensor::from_vec(vec![1.0, 2.0], &[2])),
+            Param::new("b", Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2])),
+        ]
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let ps = params();
+        let snap = Checkpoint::capture(&ps);
+        assert_eq!(snap.numel(), 6);
+        // Mutate, then restore.
+        ps[0].set_value(Tensor::zeros(&[2]));
+        snap.restore(&ps).unwrap();
+        assert_eq!(ps[0].value().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn restore_rejects_missing_and_mismatched() {
+        let snap = Checkpoint::capture(&params()[..1]);
+        let other = vec![Param::new("c", Tensor::zeros(&[1]))];
+        assert!(snap.restore(&other).unwrap_err().contains("missing"));
+        let wrong = vec![Param::new("a", Tensor::zeros(&[3]))];
+        assert!(snap.restore(&wrong).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let dir = std::env::temp_dir().join("ts3_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let ps = params();
+        Checkpoint::capture(&ps).save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        ps[1].set_value(Tensor::zeros(&[2, 2]));
+        loaded.restore(&ps).unwrap();
+        assert_eq!(ps[1].value().as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_panic() {
+        let ps = vec![
+            Param::new("x", Tensor::zeros(&[1])),
+            Param::new("x", Tensor::zeros(&[1])),
+        ];
+        let _ = Checkpoint::capture(&ps);
+    }
+}

@@ -1,0 +1,274 @@
+//! Frequency-domain blocks used by the FEDformer and Autoformer baselines.
+//!
+//! Both blocks express the DFT as fixed constant matrices, so gradients
+//! flow through ordinary matmuls — no complex-valued autograd needed.
+
+use crate::module::{Ctx, Module};
+use rand::rngs::StdRng;
+use ts3_autograd::{Param, Var};
+use ts3_signal::fft::rfft;
+use ts3_tensor::Tensor;
+
+/// Build the real/imaginary DFT analysis matrices of size `[t, modes]`
+/// restricted to the first `modes` non-negative frequencies:
+/// `Re[t,k] = cos(2 pi k t / T)`, `Im[t,k] = -sin(2 pi k t / T)`.
+pub fn dft_matrices(t: usize, modes: usize) -> (Tensor, Tensor) {
+    let mut re = vec![0.0f32; t * modes];
+    let mut im = vec![0.0f32; t * modes];
+    for ti in 0..t {
+        for k in 0..modes {
+            let ang = 2.0 * std::f64::consts::PI * (k as f64) * (ti as f64) / t as f64;
+            re[ti * modes + k] = ang.cos() as f32;
+            im[ti * modes + k] = -(ang.sin() as f32);
+        }
+    }
+    (
+        Tensor::from_vec(re, &[t, modes]),
+        Tensor::from_vec(im, &[t, modes]),
+    )
+}
+
+/// FEDformer-style Fourier-enhanced block: project the time axis onto a
+/// truncated set of Fourier modes, scale each mode with learnable
+/// per-mode/per-channel weights, and project back. Linear in `T`.
+pub struct FourierBlock {
+    /// Learnable per-mode scaling for the real part, `[modes, d]`.
+    pub weight_re: Param,
+    /// Learnable per-mode scaling for the imaginary part, `[modes, d]`.
+    pub weight_im: Param,
+    modes: usize,
+}
+
+impl FourierBlock {
+    /// A block keeping `modes` low frequencies for width-`d` features.
+    pub fn new(name: &str, modes: usize, d: usize, rng: &mut StdRng) -> Self {
+        FourierBlock {
+            weight_re: Param::new(
+                format!("{name}.w_re"),
+                Tensor::rand_uniform_with(&[modes, d], 0.5, 1.5, rng),
+            ),
+            weight_im: Param::new(
+                format!("{name}.w_im"),
+                Tensor::rand_uniform_with(&[modes, d], 0.5, 1.5, rng),
+            ),
+            modes,
+        }
+    }
+}
+
+impl Module for FourierBlock {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let _ = ctx;
+        assert_eq!(x.shape().len(), 3, "FourierBlock expects [B, T, D]");
+        let t = x.shape()[1];
+        let modes = self.modes.min(t / 2 + 1);
+        let (re_m, im_m) = dft_matrices(t, modes);
+        // Analysis: [B, T, D] -> transpose time/feature handled by viewing
+        // the projection as X^T ops; easier: Xf_re[b, k, d] via matmul over
+        // the time axis. Permute to [B, D, T] then matmul [T, modes].
+        let xt = x.permute(&[0, 2, 1]); // [B, D, T]
+        let xf_re = xt.matmul(&Var::constant(re_m.clone())); // [B, D, modes]
+        let xf_im = xt.matmul(&Var::constant(im_m.clone()));
+        // Learnable per-mode complex scaling (elementwise, diagonal mixing):
+        // (a + bi)(w_re + i w_im) = (a w_re - b w_im) + i (a w_im + b w_re).
+        let w_re = self.weight_re.var().transpose(); // [d, modes]
+        let w_im = self.weight_im.var().transpose();
+        let y_re = xf_re.mul(&w_re).sub(&xf_im.mul(&w_im));
+        let y_im = xf_re.mul(&w_im).add(&xf_im.mul(&w_re));
+        // Synthesis (inverse DFT restricted to the kept modes):
+        // x[t] = (2/T) * sum_k ( Re X_k cos(...) - Im X_k sin(...) ),
+        // i.e. y_time = (2/T) (y_re @ Re^T + y_im @ Im^T) with the DC mode
+        // halved; we fold constants into the synthesis matrices.
+        let mut syn_re = re_m;
+        let mut syn_im = im_m;
+        let scale = 2.0 / t as f32;
+        syn_re.map_inplace(|v| v * scale);
+        syn_im.map_inplace(|v| v * scale);
+        // Halve DC column.
+        for ti in 0..t {
+            let v = syn_re.at(&[ti, 0]);
+            syn_re.set(&[ti, 0], v * 0.5);
+        }
+        let y_time = y_re
+            .matmul(&Var::constant(syn_re.transpose()))
+            .add(&y_im.matmul(&Var::constant(syn_im.transpose()))); // [B, D, T]
+        y_time.permute(&[0, 2, 1])
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight_re.clone(), self.weight_im.clone()]
+    }
+}
+
+/// Autoformer's auto-correlation mechanism (simplified): estimate the
+/// series' dominant time delays from the autocorrelation (via FFT), then
+/// aggregate time-rolled versions of the values weighted by a softmax over
+/// the delay scores. The delay selection is treated as a data-dependent
+/// constant (no gradient through the argtop-k), matching how the original
+/// implementation back-propagates mainly through the rolled aggregation.
+pub struct AutoCorrelationBlock {
+    /// Number of delays to aggregate (`k = c * ln(L)` in the paper; here a
+    /// fixed small count).
+    pub top_k: usize,
+}
+
+impl AutoCorrelationBlock {
+    /// Aggregating the `top_k` strongest delays.
+    pub fn new(top_k: usize) -> Self {
+        AutoCorrelationBlock { top_k }
+    }
+
+    /// Mean autocorrelation (over batch and channels) at every lag,
+    /// computed via the Wiener–Khinchin theorem.
+    fn mean_autocorr(x: &Tensor) -> Vec<f32> {
+        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut acc = vec![0.0f64; t];
+        for bi in 0..b {
+            for di in 0..d {
+                let col: Vec<f32> = (0..t).map(|ti| x.at(&[bi, ti, di])).collect();
+                let spec = rfft(&col);
+                let power: Vec<f32> = spec.iter().map(|z| z.norm_sqr()).collect();
+                // Inverse FFT of the power spectrum = autocorrelation.
+                let pc: Vec<ts3_signal::Complex32> = power
+                    .iter()
+                    .map(|&p| ts3_signal::Complex32::from_real(p))
+                    .collect();
+                let ac = ts3_signal::fft::ifft(&pc);
+                for (lag, dst) in acc.iter_mut().enumerate() {
+                    *dst += ac[lag].re as f64;
+                }
+            }
+        }
+        acc.into_iter().map(|v| (v / (b * d) as f64) as f32).collect()
+    }
+}
+
+impl Module for AutoCorrelationBlock {
+    fn forward(&self, x: &Var, _ctx: &mut Ctx) -> Var {
+        assert_eq!(x.shape().len(), 3, "AutoCorrelationBlock expects [B, T, D]");
+        let t = x.shape()[1];
+        let ac = Self::mean_autocorr(x.value());
+        // Rank non-zero lags by autocorrelation.
+        let mut lags: Vec<(usize, f32)> = (1..t).map(|l| (l, ac[l])).collect();
+        lags.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        lags.truncate(self.top_k.max(1));
+        // Softmax weights over the selected lag scores (constants).
+        let max = lags.iter().map(|l| l.1).fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = lags.iter().map(|l| (l.1 - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        // Aggregate rolled series.
+        let mut out: Option<Var> = None;
+        for ((lag, _), w) in lags.iter().zip(exps) {
+            let rolled = if *lag == 0 {
+                x.clone()
+            } else {
+                // roll along time: concat(x[lag..], x[..lag])
+                let tail = x.narrow(1, *lag, t - *lag);
+                let head = x.narrow(1, 0, *lag);
+                Var::concat(&[&tail, &head], 1)
+            };
+            let term = rolled.mul_scalar(w / z);
+            out = Some(match out {
+                Some(acc) => acc.add(&term),
+                None => term,
+            });
+        }
+        out.expect("at least one lag aggregated")
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dft_matrices_match_rfft() {
+        let t = 16;
+        let x: Vec<f32> = (0..t).map(|i| (i as f32 * 0.7).sin()).collect();
+        let (re_m, im_m) = dft_matrices(t, t / 2 + 1);
+        let spec = rfft(&x);
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..t / 2 + 1 {
+            let re: f32 = (0..t).map(|ti| x[ti] * re_m.at(&[ti, k])).sum();
+            let im: f32 = (0..t).map(|ti| x[ti] * im_m.at(&[ti, k])).sum();
+            assert!((re - spec[k].re).abs() < 1e-3, "k={k} re {re} vs {}", spec[k].re);
+            assert!((im - spec[k].im).abs() < 1e-3, "k={k} im {im} vs {}", spec[k].im);
+        }
+    }
+
+    #[test]
+    fn fourier_block_reconstructs_lowpass_identity() {
+        // With unit weights and all modes kept, the block acts as a
+        // (lossless for band-limited input) DFT round-trip.
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = 16;
+        let fb = FourierBlock::new("fb", t / 2 + 1, 1, &mut rng);
+        fb.weight_re.set_value(Tensor::ones(&[t / 2 + 1, 1]));
+        fb.weight_im.set_value(Tensor::zeros(&[t / 2 + 1, 1]));
+        let x: Vec<f32> = (0..t)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 8.0).sin() + 0.5)
+            .collect();
+        let xv = Var::constant(Tensor::from_vec(x.clone(), &[1, t, 1]));
+        let mut ctx = Ctx::eval();
+        let y = fb.forward(&xv, &mut ctx);
+        for (got, want) in y.value().as_slice().iter().zip(&x) {
+            assert!((got - want).abs() < 0.15, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fourier_block_is_differentiable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fb = FourierBlock::new("fb", 4, 3, &mut rng);
+        let mut ctx = Ctx::train(0);
+        let x = Var::constant(Tensor::randn(&[2, 12, 3], 5));
+        let loss = fb.forward(&x, &mut ctx).square().sum();
+        for p in fb.params() {
+            p.zero_grad();
+        }
+        loss.backward();
+        assert!(fb.weight_re.grad_norm() > 0.0);
+        assert!(fb.weight_im.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        // A period-8 series: lag 8 should dominate the aggregation, making
+        // the output close to the input (rolled by a full period).
+        let t = 32;
+        let x: Vec<f32> = (0..t)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 8.0).sin())
+            .collect();
+        let xv = Var::constant(Tensor::from_vec(x.clone(), &[1, t, 1]));
+        let block = AutoCorrelationBlock::new(1);
+        let mut ctx = Ctx::eval();
+        let y = block.forward(&xv, &mut ctx);
+        let err: f32 = y
+            .value()
+            .as_slice()
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / t as f32;
+        assert!(err < 0.05, "mean abs err {err}");
+    }
+
+    #[test]
+    fn autocorrelation_gradient_flows() {
+        let x = Var::constant(Tensor::randn(&[1, 16, 2], 8));
+        let block = AutoCorrelationBlock::new(3);
+        let mut ctx = Ctx::eval();
+        block.forward(&x, &mut ctx).sum().backward();
+        assert!(x.grad().is_some());
+        let g = x.grad().unwrap();
+        // Weights form a convex combination: gradient of sum wrt every
+        // input element is 1.
+        assert!((g.mean() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluation metrics (non-differentiable, computed on plain tensors):
+//! MSE and MAE as reported in every table of the paper.
+
+use ts3_tensor::Tensor;
+
+/// Mean squared error between prediction and target.
+pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    pred.sub(target).square().mean()
+}
+
+/// Mean absolute error between prediction and target.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mae: shape mismatch");
+    pred.sub(target).abs().mean()
+}
+
+/// Masked MSE over the positions where `mask == 1`.
+pub fn masked_mse(pred: &Tensor, target: &Tensor, mask: &Tensor) -> f32 {
+    let diff = pred.sub(target).square().mul(mask);
+    let w = mask.sum().max(1.0);
+    diff.sum() / w
+}
+
+/// Masked MAE over the positions where `mask == 1`.
+pub fn masked_mae(pred: &Tensor, target: &Tensor, mask: &Tensor) -> f32 {
+    let diff = pred.sub(target).abs().mul(mask);
+    let w = mask.sum().max(1.0);
+    diff.sum() / w
+}
+
+
+/// Fill hidden positions (mask == 1) of a `[B, T, C]` batch with each
+/// (batch, channel)'s observed mean — the shared starting point for every
+/// imputation model.
+pub fn mean_fill(masked: &Tensor, mask: &Tensor) -> Tensor {
+    assert_eq!(masked.shape(), mask.shape(), "mean_fill: shape mismatch");
+    assert_eq!(masked.rank(), 3, "mean_fill expects [B, T, C]");
+    let (b, t, c) = (masked.shape()[0], masked.shape()[1], masked.shape()[2]);
+    let mut filled = masked.clone();
+    for bi in 0..b {
+        for ci in 0..c {
+            let mut sum = 0.0f32;
+            let mut cnt = 0.0f32;
+            for ti in 0..t {
+                if mask.at(&[bi, ti, ci]) == 0.0 {
+                    sum += masked.at(&[bi, ti, ci]);
+                    cnt += 1.0;
+                }
+            }
+            let mean = if cnt > 0.0 { sum / cnt } else { 0.0 };
+            for ti in 0..t {
+                if mask.at(&[bi, ti, ci]) == 1.0 {
+                    filled.set(&[bi, ti, ci], mean);
+                }
+            }
+        }
+    }
+    filled
+}
+
+/// Streaming mean aggregator for per-batch metric values.
+#[derive(Debug, Default, Clone)]
+pub struct Average {
+    sum: f64,
+    count: u64,
+}
+
+impl Average {
+    /// Fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, v: f32) {
+        self.sum += v as f64;
+        self.count += 1;
+    }
+
+    /// Add an observation with a weight (e.g. batch size).
+    pub fn push_weighted(&mut self, v: f32, w: f32) {
+        self.sum += (v as f64) * (w as f64);
+        self.count += w as u64;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_basic() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-6);
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let p = Tensor::randn(&[10], 1);
+        assert_eq!(mse(&p, &p), 0.0);
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn masked_metrics_ignore_unmasked() {
+        let p = Tensor::from_vec(vec![1.0, 100.0], &[2]);
+        let t = Tensor::zeros(&[2]);
+        let m = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        assert!((masked_mse(&p, &t, &m) - 1.0).abs() < 1e-6);
+        assert!((masked_mae(&p, &t, &m) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_metrics_empty_mask_is_zero() {
+        let p = Tensor::ones(&[4]);
+        let t = Tensor::zeros(&[4]);
+        let m = Tensor::zeros(&[4]);
+        assert_eq!(masked_mse(&p, &t, &m), 0.0);
+    }
+
+    #[test]
+    fn average_accumulates() {
+        let mut a = Average::new();
+        a.push(1.0);
+        a.push(3.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.count(), 2);
+        a.push_weighted(10.0, 2.0);
+        assert_eq!(a.mean(), 6.0);
+    }
+
+    #[test]
+    fn average_empty_is_zero() {
+        assert_eq!(Average::new().mean(), 0.0);
+    }
+}

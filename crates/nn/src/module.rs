@@ -1,0 +1,111 @@
+//! The [`Module`] trait and the forward-pass context.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ts3_autograd::{Param, Var};
+
+/// Per-forward-pass context: training/eval mode and the RNG driving
+/// stochastic layers (dropout).
+pub struct Ctx {
+    /// True during training (enables dropout).
+    pub training: bool,
+    /// RNG for stochastic layers; owned by the context so a fixed seed
+    /// makes whole training runs reproducible.
+    pub rng: StdRng,
+}
+
+impl Ctx {
+    /// Training-mode context with a fixed seed.
+    pub fn train(seed: u64) -> Ctx {
+        Ctx { training: true, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Evaluation-mode context (stochastic layers become identity).
+    pub fn eval() -> Ctx {
+        Ctx { training: false, rng: StdRng::seed_from_u64(0) }
+    }
+}
+
+/// A neural-network building block: a pure function of its input plus a
+/// set of trainable parameters.
+pub trait Module {
+    /// Run the forward pass, extending the autograd graph.
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var;
+
+    /// All trainable parameters (used by optimisers and checkpointing).
+    fn params(&self) -> Vec<Param>;
+
+    /// Total number of scalar weights.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Sequential container.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Build from a list of layers.
+    pub fn new(layers: Vec<Box<dyn Module>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h, ctx);
+        }
+        h
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts3_tensor::Tensor;
+
+    struct Scale(f32);
+    impl Module for Scale {
+        fn forward(&self, x: &Var, _ctx: &mut Ctx) -> Var {
+            x.mul_scalar(self.0)
+        }
+        fn params(&self) -> Vec<Param> {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn sequential_composes_in_order() {
+        let seq = Sequential::new(vec![Box::new(Scale(2.0)), Box::new(Scale(5.0))]);
+        let mut ctx = Ctx::eval();
+        let y = seq.forward(&Var::constant(Tensor::from_vec(vec![1.0], &[1])), &mut ctx);
+        assert_eq!(y.value().as_slice(), &[10.0]);
+        assert_eq!(seq.len(), 2);
+        assert!(!seq.is_empty());
+        assert_eq!(seq.num_params(), 0);
+    }
+
+    #[test]
+    fn ctx_modes() {
+        assert!(Ctx::train(1).training);
+        assert!(!Ctx::eval().training);
+    }
+}

@@ -1,0 +1,394 @@
+//! Continuous wavelet transform (paper Eq. 5–8), its adjoint (used for
+//! back-propagation through the fixed wavelet filter bank), and a linear
+//! inverse transform `IWT` (Eq. 9).
+//!
+//! All transforms are computed through one shared FFT plan: the input is
+//! transformed once, every scale is a pointwise product with a precomputed
+//! filter spectrum plus one inverse FFT. Complexity `O(lambda * T log T)`
+//! per channel.
+
+use crate::complex::Complex32;
+use crate::fft::{fft_pow2_inplace, next_pow2};
+use crate::wavelet::{sample_wavelet, scale_set, WaveletKind};
+use ts3_tensor::Tensor;
+
+/// Precomputed CWT plan for a fixed `(series length, lambda, wavelet)`.
+pub struct CwtPlan {
+    /// Series length `T`.
+    pub t_len: usize,
+    /// Number of spectral sub-bands (the paper's hyper-parameter lambda).
+    pub lambda: usize,
+    /// Wavelet generating function used by this plan.
+    pub kind: WaveletKind,
+    /// Scale factors `s_i = 2 lambda / i`.
+    pub scales: Vec<f32>,
+    /// Half filter length `N_i` per scale.
+    half: Vec<usize>,
+    /// FFT length (power of two covering `T + 2 N_max`).
+    fft_len: usize,
+    /// Per scale: FFT of the *reversed* conjugated taps (for forward
+    /// correlation).
+    filt_fwd: Vec<Vec<Complex32>>,
+    /// Per scale: FFT of the conjugated taps as-is (for the adjoint).
+    filt_adj: Vec<Vec<Complex32>>,
+    /// Reconstruction weights for the inverse transform, including the
+    /// empirically calibrated admissibility constant.
+    recon: Vec<f32>,
+}
+
+impl CwtPlan {
+    /// Build a plan for series of length `t_len` with `lambda` sub-bands.
+    pub fn new(t_len: usize, lambda: usize, kind: WaveletKind) -> Self {
+        assert!(t_len >= 2, "CwtPlan: series length must be >= 2");
+        assert!(lambda >= 1, "CwtPlan: lambda must be >= 1");
+        let scales = scale_set(lambda);
+        let mut half = Vec::with_capacity(lambda);
+        let mut taps_all = Vec::with_capacity(lambda);
+        let mut n_max = 0usize;
+        for &s in &scales {
+            let (taps, n) = sample_wavelet(kind, s);
+            n_max = n_max.max(n);
+            half.push(n);
+            taps_all.push(taps);
+        }
+        let fft_len = next_pow2(t_len + 2 * n_max + 1);
+        let mut filt_fwd = Vec::with_capacity(lambda);
+        let mut filt_adj = Vec::with_capacity(lambda);
+        for taps in &taps_all {
+            // Forward: correlation with c = conj(psi) (Eq. 5 uses the
+            // conjugate), implemented as linear convolution with the
+            // reversed taps.
+            let c: Vec<Complex32> = taps.iter().map(|z| z.conj()).collect();
+            let mut rev = vec![Complex32::ZERO; fft_len];
+            for (j, &v) in c.iter().rev().enumerate() {
+                rev[j] = v;
+            }
+            fft_pow2_inplace(&mut rev, false);
+            filt_fwd.push(rev);
+            // Adjoint: out[k] = Re( linconv(g_re + i g_im, conj(c))[k+N] ),
+            // and conj(c) is the original (unconjugated) wavelet taps.
+            let mut fwd = vec![Complex32::ZERO; fft_len];
+            for (j, &v) in taps.iter().enumerate() {
+                fwd[j] = v;
+            }
+            fft_pow2_inplace(&mut fwd, false);
+            filt_adj.push(fwd);
+        }
+        // Inverse-transform weights: delta-s_i / s_i^{3/2}, then calibrate
+        // the global admissibility constant against a broadband reference
+        // so that IWT(Re(WT(x))) ~= x.
+        let mut recon: Vec<f32> = (0..lambda)
+            .map(|i| {
+                let ds = if i + 1 < lambda {
+                    scales[i] - scales[i + 1]
+                } else {
+                    scales[i] - scales[i] / 2.0
+                };
+                ds / scales[i].powf(1.5)
+            })
+            .collect();
+        let mut plan = CwtPlan {
+            t_len,
+            lambda,
+            kind,
+            scales,
+            half,
+            fft_len,
+            filt_fwd,
+            filt_adj,
+            recon: recon.clone(),
+        };
+        let c = plan.calibrate_reconstruction();
+        for w in recon.iter_mut() {
+            *w *= c;
+        }
+        plan.recon = recon;
+        plan
+    }
+
+    /// Least-squares calibration of the reconstruction constant using a
+    /// deterministic broadband reference signal.
+    fn calibrate_reconstruction(&self) -> f32 {
+        let t = self.t_len;
+        // Deterministic pseudo-broadband reference: a sum of incommensurate
+        // sinusoids spanning the analysed band.
+        let x: Vec<f32> = (0..t)
+            .map(|i| {
+                let ti = i as f32;
+                (0.37 * ti).sin() + 0.7 * (0.11 * ti + 1.0).sin() + 0.5 * (0.73 * ti + 2.0).sin()
+            })
+            .collect();
+        let (re, _im) = self.forward_complex(&x);
+        let y = self.inverse_raw(&re, &self.recon_unit());
+        let xy: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let yy: f32 = y.iter().map(|b| b * b).sum();
+        if yy > 1e-12 {
+            xy / yy
+        } else {
+            1.0
+        }
+    }
+
+    fn recon_unit(&self) -> Vec<f32> {
+        (0..self.lambda)
+            .map(|i| {
+                let ds = if i + 1 < self.lambda {
+                    self.scales[i] - self.scales[i + 1]
+                } else {
+                    self.scales[i] - self.scales[i] / 2.0
+                };
+                ds / self.scales[i].powf(1.5)
+            })
+            .collect()
+    }
+
+    /// Frequencies `F_i = F_c / s_i` of each sub-band given the wavelet's
+    /// central frequency.
+    pub fn band_frequencies(&self, f_c: f32) -> Vec<f32> {
+        self.scales.iter().map(|&s| f_c / s).collect()
+    }
+
+    /// Run one filter bank over a real signal. `bank` selects forward
+    /// (correlation) or adjoint (convolution) orientation.
+    fn apply_bank(&self, x: &[f32], bank: &[Vec<Complex32>]) -> Vec<Vec<Complex32>> {
+        assert_eq!(x.len(), self.t_len, "apply_bank: signal length mismatch");
+        let mut spec = vec![Complex32::ZERO; self.fft_len];
+        for (dst, &v) in spec.iter_mut().zip(x) {
+            *dst = Complex32::from_real(v);
+        }
+        fft_pow2_inplace(&mut spec, false);
+        let mut out = Vec::with_capacity(self.lambda);
+        for (i, filt) in bank.iter().enumerate() {
+            let mut prod: Vec<Complex32> =
+                spec.iter().zip(filt).map(|(&a, &b)| a * b).collect();
+            fft_pow2_inplace(&mut prod, true);
+            // The taps occupy 2N+1 slots; "same" alignment starts at N.
+            let n = self.half[i];
+            // For the reversed filter the peak is at index 2N - N = N as
+            // well (taps are symmetric in length), so both orientations
+            // share the offset.
+            out.push(prod[n..n + self.t_len].to_vec());
+        }
+        out
+    }
+
+    /// Forward CWT of a real signal: returns `(re, im)` each of length
+    /// `lambda * T` (row i = sub-band i).
+    pub fn forward_complex(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let rows = self.apply_bank(x, &self.filt_fwd);
+        let mut re = Vec::with_capacity(self.lambda * self.t_len);
+        let mut im = Vec::with_capacity(self.lambda * self.t_len);
+        for row in rows {
+            for z in row {
+                re.push(z.re);
+                im.push(z.im);
+            }
+        }
+        (re, im)
+    }
+
+    /// Adjoint of [`CwtPlan::forward_complex`]: maps cotangents
+    /// `(g_re, g_im)` of shape `lambda * T` back to a length-`T` cotangent
+    /// of the input signal. Satisfies
+    /// `<forward(x), (g_re, g_im)> == <x, adjoint(g_re, g_im)>`.
+    pub fn adjoint(&self, g_re: &[f32], g_im: &[f32]) -> Vec<f32> {
+        assert_eq!(g_re.len(), self.lambda * self.t_len);
+        assert_eq!(g_im.len(), self.lambda * self.t_len);
+        let mut out = vec![0.0f32; self.t_len];
+        for i in 0..self.lambda {
+            // Forward was y_re = corr(x, Re c), y_im = corr(x, Im c) with
+            // c = conj(psi), so the adjoint is
+            //   out[k] = sum_b g_re[b] Re(c[k-b+N]) + g_im[b] Im(c[k-b+N])
+            //          = Re( linconv(g_re + i g_im, conj(c))[k + N] )
+            // and conj(c) = psi, whose causal-tap FFT is `filt_adj`.
+            let row_re = &g_re[i * self.t_len..(i + 1) * self.t_len];
+            let row_im = &g_im[i * self.t_len..(i + 1) * self.t_len];
+            let mut spec = vec![Complex32::ZERO; self.fft_len];
+            for (dst, (&a, &b)) in spec.iter_mut().zip(row_re.iter().zip(row_im)) {
+                *dst = Complex32::new(a, b);
+            }
+            fft_pow2_inplace(&mut spec, false);
+            for (a, &b) in spec.iter_mut().zip(&self.filt_adj[i]) {
+                *a *= b;
+            }
+            fft_pow2_inplace(&mut spec, true);
+            let n = self.half[i];
+            for (k, dst) in out.iter_mut().enumerate() {
+                *dst += spec[k + n].re;
+            }
+        }
+        out
+    }
+
+    /// Amplitude TF distribution `Amp(WT(x))` (Eq. 7): `lambda * T` values,
+    /// row-major `[lambda, T]`.
+    pub fn amplitude(&self, x: &[f32]) -> Vec<f32> {
+        let (re, im) = self.forward_complex(x);
+        re.iter().zip(&im).map(|(&a, &b)| a.hypot(b)).collect()
+    }
+
+    /// Linear inverse transform of a real `[lambda, T]` coefficient grid
+    /// (Eq. 9's `IWT`): weighted sum across scales with calibrated
+    /// admissibility constant.
+    pub fn inverse(&self, w: &[f32]) -> Vec<f32> {
+        self.inverse_raw(w, &self.recon)
+    }
+
+    fn inverse_raw(&self, w: &[f32], weights: &[f32]) -> Vec<f32> {
+        assert_eq!(w.len(), self.lambda * self.t_len, "inverse: coefficient grid mismatch");
+        let mut out = vec![0.0f32; self.t_len];
+        for i in 0..self.lambda {
+            let wi = weights[i];
+            let row = &w[i * self.t_len..(i + 1) * self.t_len];
+            for (dst, &v) in out.iter_mut().zip(row) {
+                *dst += wi * v;
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`CwtPlan::inverse`]: maps a length-`T` cotangent to a
+    /// `[lambda, T]` cotangent (each row scaled by its weight).
+    pub fn inverse_adjoint(&self, g: &[f32]) -> Vec<f32> {
+        assert_eq!(g.len(), self.t_len, "inverse_adjoint: length mismatch");
+        let mut out = Vec::with_capacity(self.lambda * self.t_len);
+        for i in 0..self.lambda {
+            let wi = self.recon[i];
+            out.extend(g.iter().map(|&v| wi * v));
+        }
+        out
+    }
+
+    /// Convenience: amplitude TF tensor of shape `[lambda, T]`.
+    pub fn amplitude_tensor(&self, x: &[f32]) -> Tensor {
+        Tensor::from_vec(self.amplitude(x), &[self.lambda, self.t_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinusoid(t_len: usize, period: f32) -> Vec<f32> {
+        (0..t_len)
+            .map(|t| (2.0 * std::f32::consts::PI * t as f32 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn amplitude_shape_and_finiteness() {
+        let plan = CwtPlan::new(96, 8, WaveletKind::ComplexGaussian);
+        let x = sinusoid(96, 24.0);
+        let amp = plan.amplitude_tensor(&x);
+        assert_eq!(amp.shape(), &[8, 96]);
+        assert!(amp.all_finite());
+        assert!(amp.max() > 0.0);
+    }
+
+    #[test]
+    fn cwt_localises_frequency() {
+        // A low-frequency sinusoid must put most energy into low-frequency
+        // rows (small i <-> large scale <-> low F_i), and a high-frequency
+        // one into high-frequency rows.
+        let plan = CwtPlan::new(128, 12, WaveletKind::ComplexGaussian);
+        let energy_profile = |x: &[f32]| -> Vec<f32> {
+            let amp = plan.amplitude(x);
+            (0..plan.lambda)
+                .map(|i| amp[i * 128..(i + 1) * 128].iter().map(|v| v * v).sum::<f32>())
+                .collect()
+        };
+        let low = energy_profile(&sinusoid(128, 64.0));
+        let high = energy_profile(&sinusoid(128, 6.0));
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert!(argmax(&low) < argmax(&high), "low {low:?}\nhigh {high:?}");
+    }
+
+    #[test]
+    fn cwt_is_linear() {
+        let plan = CwtPlan::new(64, 6, WaveletKind::ComplexGaussian);
+        let a = sinusoid(64, 10.0);
+        let b = sinusoid(64, 23.0);
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let (ra, ia) = plan.forward_complex(&a);
+        let (rb, ib) = plan.forward_complex(&b);
+        let (rs, is) = plan.forward_complex(&sum);
+        for i in 0..ra.len() {
+            assert!((ra[i] + rb[i] - rs[i]).abs() < 1e-3);
+            assert!((ia[i] + ib[i] - is[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_transpose() {
+        // <W x, g> == <x, W^T g> for arbitrary x, g.
+        let plan = CwtPlan::new(48, 5, WaveletKind::ComplexGaussian);
+        let x: Vec<f32> = (0..48).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.3).collect();
+        let n = plan.lambda * plan.t_len;
+        let g_re: Vec<f32> = (0..n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1).collect();
+        let g_im: Vec<f32> = (0..n).map(|i| ((i * 3 % 13) as f32 - 6.0) * 0.1).collect();
+        let (y_re, y_im) = plan.forward_complex(&x);
+        let lhs: f32 = y_re.iter().zip(&g_re).map(|(a, b)| a * b).sum::<f32>()
+            + y_im.iter().zip(&g_im).map(|(a, b)| a * b).sum::<f32>();
+        let xt = plan.adjoint(&g_re, &g_im);
+        let rhs: f32 = x.iter().zip(&xt).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "lhs {lhs} rhs {rhs}"
+        );
+    }
+
+    #[test]
+    fn inverse_reconstructs_bandlimited_signal() {
+        let plan = CwtPlan::new(128, 16, WaveletKind::ComplexGaussian);
+        let x = sinusoid(128, 20.0);
+        let (re, _) = plan.forward_complex(&x);
+        let y = plan.inverse(&re);
+        // Compare on the interior (boundary effects at the edges).
+        let err: f32 = x[16..112]
+            .iter()
+            .zip(&y[16..112])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / 96.0;
+        let energy: f32 = x[16..112].iter().map(|a| a * a).sum::<f32>() / 96.0;
+        assert!(err < 0.35 * energy, "relative error {} too large", err / energy);
+    }
+
+    #[test]
+    fn inverse_adjoint_matches_transpose() {
+        let plan = CwtPlan::new(32, 4, WaveletKind::ComplexGaussian);
+        let w: Vec<f32> = (0..128).map(|i| (i as f32 * 0.17).sin()).collect();
+        let g: Vec<f32> = (0..32).map(|i| (i as f32 * 0.31).cos()).collect();
+        let lhs: f32 = plan.inverse(&w).iter().zip(&g).map(|(a, b)| a * b).sum();
+        let rhs: f32 = w
+            .iter()
+            .zip(plan.inverse_adjoint(&g).iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn band_frequencies_increase_with_index() {
+        let plan = CwtPlan::new(64, 8, WaveletKind::ComplexGaussian);
+        let f = plan.band_frequencies(0.16);
+        for w in f.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn different_wavelets_give_different_distributions() {
+        let x = sinusoid(64, 16.0);
+        let a = CwtPlan::new(64, 6, WaveletKind::ComplexGaussian).amplitude(&x);
+        let b = CwtPlan::new(64, 6, WaveletKind::ComplexGaussian1).amplitude(&x);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-2);
+    }
+}

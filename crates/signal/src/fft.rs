@@ -1,0 +1,313 @@
+//! Fast Fourier Transform: iterative radix-2 Cooley–Tukey for power-of-two
+//! lengths and Bluestein's chirp-z algorithm for arbitrary lengths, plus
+//! real-input helpers.
+
+use crate::complex::Complex32;
+
+/// Round `n` up to the next power of two.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place radix-2 FFT. `inverse` selects the sign of the exponent; the
+/// inverse additionally divides by `n`, so `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+fn fft_pow2(data: &mut [Complex32], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft_pow2 requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex32::new(ang.cos() as f32, ang.sin() as f32);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex32::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f32;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// Bluestein chirp-z transform: FFT of arbitrary length `n` expressed as a
+/// convolution of length `>= 2n-1`, evaluated with radix-2 FFTs.
+fn fft_bluestein(input: &[Complex32], inverse: bool) -> Vec<Complex32> {
+    let n = input.len();
+    let m = next_pow2(2 * n - 1);
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    // Chirp factors w_k = exp(sign * i * pi * k^2 / n), computed with k^2
+    // reduced mod 2n to stay accurate for large k.
+    let chirp: Vec<Complex32> = (0..n)
+        .map(|k| {
+            let e = (k as u64 * k as u64) % (2 * n as u64);
+            let ang = sign * std::f64::consts::PI * e as f64 / n as f64;
+            Complex32::new(ang.cos() as f32, ang.sin() as f32)
+        })
+        .collect();
+    let mut a = vec![Complex32::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex32::ZERO; m];
+    for k in 0..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        if k != 0 {
+            b[m - k] = c;
+        }
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_pow2(&mut a, true);
+    let mut out: Vec<Complex32> = (0..n).map(|k| a[k] * chirp[k]).collect();
+    if inverse {
+        let inv = 1.0 / n as f32;
+        for v in out.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+    out
+}
+
+/// Forward FFT of a complex sequence of **any** length.
+pub fn fft(input: &[Complex32]) -> Vec<Complex32> {
+    if input.len() <= 1 {
+        return input.to_vec();
+    }
+    if input.len().is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf, false);
+        buf
+    } else {
+        fft_bluestein(input, false)
+    }
+}
+
+/// Inverse FFT of a complex sequence of any length (normalised by `1/n`).
+pub fn ifft(input: &[Complex32]) -> Vec<Complex32> {
+    if input.len() <= 1 {
+        return input.to_vec();
+    }
+    if input.len().is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf, true);
+        buf
+    } else {
+        fft_bluestein(input, true)
+    }
+}
+
+/// In-place power-of-two FFT, exposed for planned/buffered callers (the CWT
+/// engine) that want to avoid per-call allocation.
+pub fn fft_pow2_inplace(data: &mut [Complex32], inverse: bool) {
+    fft_pow2(data, inverse);
+}
+
+/// Forward FFT of a real sequence; returns the full complex spectrum.
+pub fn rfft(input: &[f32]) -> Vec<Complex32> {
+    let buf: Vec<Complex32> = input.iter().map(|&v| Complex32::from_real(v)).collect();
+    fft(&buf)
+}
+
+/// Amplitude spectrum `|FFT(x)|` of a real sequence (full length).
+pub fn amplitude_spectrum(input: &[f32]) -> Vec<f32> {
+    rfft(input).iter().map(|z| z.abs()).collect()
+}
+
+/// Naive O(n^2) DFT — reference implementation used only by tests.
+pub fn dft_naive(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / n as f64;
+                acc += x * Complex32::new(ang.cos() as f32, ang.sin() as f32);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Linear convolution of two real sequences via FFT
+/// (`len = a.len() + b.len() - 1`).
+pub fn convolve_real(a: &[f32], b: &[f32]) -> Vec<f32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = next_pow2(out_len);
+    let mut fa = vec![Complex32::ZERO; m];
+    for (dst, &v) in fa.iter_mut().zip(a) {
+        *dst = Complex32::from_real(v);
+    }
+    let mut fb = vec![Complex32::ZERO; m];
+    for (dst, &v) in fb.iter_mut().zip(b) {
+        *dst = Complex32::from_real(v);
+    }
+    fft_pow2(&mut fa, false);
+    fft_pow2(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    fft_pow2(&mut fa, true);
+    fa[..out_len].iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex32::ZERO; 8];
+        x[0] = Complex32::ONE;
+        let y = fft(&x);
+        for z in y {
+            assert!((z.re - 1.0).abs() < 1e-5 && z.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let x = vec![Complex32::ONE; 16];
+        let y = fft(&x);
+        assert!((y[0].re - 16.0).abs() < 1e-4);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        let x: Vec<Complex32> = (0..16)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos()))
+            .collect();
+        assert_close(&fft(&x), &dft_naive(&x), 1e-3);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_non_pow2() {
+        for n in [3usize, 5, 6, 7, 12, 15, 31, 96] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 1.1).cos()))
+                .collect();
+            assert_close(&fft(&x), &dft_naive(&x), 2e-3);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 13, 96, 100] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32).cos(), (i as f32 * 0.5).sin()))
+                .collect();
+            let y = ifft(&fft(&x));
+            assert_close(&x, &y, 1e-3);
+        }
+    }
+
+    #[test]
+    fn rfft_of_sinusoid_peaks_at_its_frequency() {
+        let n = 64;
+        let f = 5.0;
+        let x: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * f * t as f32 / n as f32).sin())
+            .collect();
+        let amp = amplitude_spectrum(&x);
+        // Peak must be at bin 5 (and mirror bin 59); magnitude n/2.
+        let peak = amp[1..n / 2]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert_eq!(peak, 5);
+        assert!((amp[5] - n as f32 / 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 32;
+        let x: Vec<f32> = (0..n).map(|t| ((t * t) as f32 * 0.01).sin()).collect();
+        let time_energy: f32 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f32 =
+            rfft(&x).iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let n = 24;
+        let a: Vec<Complex32> = (0..n).map(|i| Complex32::from_real(i as f32)).collect();
+        let b: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new(0.0, (i as f32).sin())).collect();
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let lhs = fft(&sum);
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let rhs: Vec<Complex32> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&lhs, &rhs, 1e-2);
+    }
+
+    #[test]
+    fn convolve_real_matches_manual() {
+        // [1,2,3] * [1,1] = [1,3,5,3]
+        let y = convolve_real(&[1.0, 2.0, 3.0], &[1.0, 1.0]);
+        assert_eq!(y.len(), 4);
+        for (got, want) in y.iter().zip([1.0, 3.0, 5.0, 3.0]) {
+            assert!((got - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn convolve_empty_is_empty() {
+        assert!(convolve_real(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn tiny_lengths() {
+        assert_eq!(fft(&[]).len(), 0);
+        let one = fft(&[Complex32::new(2.0, 3.0)]);
+        assert_eq!(one[0], Complex32::new(2.0, 3.0));
+    }
+}

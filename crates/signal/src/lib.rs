@@ -1,0 +1,41 @@
+//! # ts3-signal
+//!
+//! Signal-processing substrate for the TS3Net reproduction:
+//!
+//! * [`complex`] — minimal complex arithmetic;
+//! * [`fft`] — radix-2 + Bluestein FFT of arbitrary length, real-input
+//!   helpers, FFT-based linear convolution;
+//! * [`spectrum`] — multi-periodicity detection via top-k FFT amplitudes
+//!   (paper Eq. 2);
+//! * [`wavelet`] — complex Gaussian wavelets and the paper's scale set
+//!   (Eq. 3–6);
+//! * [`cwt`] — planned continuous wavelet transform, its adjoint (for
+//!   autograd) and a calibrated linear inverse (Eq. 5–9);
+//! * [`decompose`] — trend decomposition, spectrum gradients and the full
+//!   triple decomposition (Eq. 1, 9–11).
+//!
+//! ```
+//! use ts3_signal::decompose::{triple_decompose, TripleConfig};
+//! use ts3_tensor::Tensor;
+//!
+//! let x: Vec<f32> = (0..96).map(|t| (t as f32 / 12.0).sin() + 0.01 * t as f32).collect();
+//! let x = Tensor::from_vec(x, &[96, 1]);
+//! let d = triple_decompose(&x, &TripleConfig::default());
+//! assert!(d.reconstruct().allclose(&x, 1e-3));
+//! ```
+
+pub mod complex;
+pub mod cwt;
+pub mod decompose;
+pub mod fft;
+pub mod spectrum;
+pub mod wavelet;
+
+pub use complex::Complex32;
+pub use cwt::CwtPlan;
+pub use decompose::{
+    sgd_channel, spectrum_gradient, trend_decompose, triple_decompose, TripleConfig,
+    TripleDecomposition,
+};
+pub use spectrum::{dominant_period, topk_periods, topk_periods_multi, PeriodComponent};
+pub use wavelet::{central_frequency, sample_wavelet, scale_set, WaveletKind};

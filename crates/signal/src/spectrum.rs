@@ -1,0 +1,140 @@
+//! FFT-based multi-periodicity detection (paper Eq. 2): the top-k
+//! frequencies by amplitude and their implied period lengths
+//! `p_i = ceil(T / f_i)`.
+
+use crate::fft::rfft;
+use ts3_tensor::Tensor;
+
+/// One detected periodic component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodComponent {
+    /// Frequency index `f` in `1..=T/2` (cycles per window).
+    pub frequency: usize,
+    /// Implied period length `ceil(T / f)` in samples.
+    pub period: usize,
+    /// Mean amplitude of that frequency bin across channels.
+    pub amplitude: f32,
+}
+
+/// Top-k dominant periods of a univariate series (Eq. 2).
+pub fn topk_periods(x: &[f32], k: usize) -> Vec<PeriodComponent> {
+    topk_periods_multi(&Tensor::from_vec(x.to_vec(), &[x.len(), 1]), k)
+}
+
+/// Top-k dominant periods of a multivariate `[T, C]` series; amplitudes
+/// are averaged across channels (the TimesNet convention the paper
+/// follows).
+pub fn topk_periods_multi(x: &Tensor, k: usize) -> Vec<PeriodComponent> {
+    assert_eq!(x.rank(), 2, "topk_periods_multi expects [T, C]");
+    let (t, c) = (x.shape()[0], x.shape()[1]);
+    assert!(t >= 4, "series too short for period detection");
+    let half = t / 2;
+    let mut mean_amp = vec![0.0f32; half + 1];
+    for ch in 0..c {
+        let col: Vec<f32> = (0..t).map(|i| x.at(&[i, ch])).collect();
+        let spec = rfft(&col);
+        for (f, dst) in mean_amp.iter_mut().enumerate().take(half + 1) {
+            *dst += spec[f].abs() / c as f32;
+        }
+    }
+    // Exclude DC (f = 0): the trend part carries it.
+    let mut bins: Vec<(usize, f32)> = (1..=half).map(|f| (f, mean_amp[f])).collect();
+    bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    bins.truncate(k);
+    bins.into_iter()
+        .map(|(f, amplitude)| PeriodComponent {
+            frequency: f,
+            period: t.div_ceil(f),
+            amplitude,
+        })
+        .collect()
+}
+
+/// The single dominant period (`p_1` / the paper's `T_f`), falling back to
+/// `t/2` if the spectrum is degenerate (e.g. all-zero input).
+pub fn dominant_period(x: &Tensor) -> usize {
+    let comps = topk_periods_multi(x, 1);
+    let t = x.shape()[0];
+    match comps.first() {
+        Some(c) if c.amplitude > 1e-12 => c.period.clamp(2, t),
+        _ => (t / 2).max(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sin_series(t: usize, period: usize) -> Vec<f32> {
+        (0..t)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / period as f32).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_single_period() {
+        let x = sin_series(96, 24);
+        let p = topk_periods(&x, 1);
+        assert_eq!(p[0].frequency, 4); // 96 / 24
+        assert_eq!(p[0].period, 24);
+    }
+
+    #[test]
+    fn detects_two_mixed_periods() {
+        let t = 96;
+        let a = sin_series(t, 24);
+        let b = sin_series(t, 8);
+        let x: Vec<f32> = a.iter().zip(&b).map(|(u, v)| 2.0 * u + v).collect();
+        let p = topk_periods(&x, 2);
+        let periods: Vec<usize> = p.iter().map(|c| c.period).collect();
+        assert!(periods.contains(&24), "{periods:?}");
+        assert!(periods.contains(&8), "{periods:?}");
+        // The stronger component must rank first.
+        assert_eq!(p[0].period, 24);
+    }
+
+    #[test]
+    fn multichannel_averages_amplitudes() {
+        let t = 64;
+        let mut data = Vec::new();
+        for i in 0..t {
+            data.push((2.0 * std::f32::consts::PI * i as f32 / 16.0).sin()); // ch 0
+            data.push((2.0 * std::f32::consts::PI * i as f32 / 16.0).cos()); // ch 1
+        }
+        let x = Tensor::from_vec(data, &[t, 2]);
+        let p = topk_periods_multi(&x, 1);
+        assert_eq!(p[0].period, 16);
+    }
+
+    #[test]
+    fn dc_offset_is_ignored() {
+        let x: Vec<f32> = sin_series(64, 16).iter().map(|v| v + 100.0).collect();
+        let p = topk_periods(&x, 1);
+        assert_eq!(p[0].period, 16);
+    }
+
+    #[test]
+    fn dominant_period_fallback_on_flat_series() {
+        let x = Tensor::zeros(&[32, 1]);
+        assert_eq!(dominant_period(&x), 16);
+    }
+
+    #[test]
+    fn period_formula_is_ceiling() {
+        // T = 10, f = 3 -> p = ceil(10/3) = 4.
+        let t = 10;
+        let x: Vec<f32> = (0..t)
+            .map(|i| (2.0 * std::f32::consts::PI * 3.0 * i as f32 / t as f32).sin())
+            .collect();
+        let p = topk_periods(&x, 1);
+        assert_eq!(p[0].frequency, 3);
+        assert_eq!(p[0].period, 4);
+    }
+
+    #[test]
+    fn k_larger_than_bins_is_truncated() {
+        let x = sin_series(16, 4);
+        let p = topk_periods(&x, 100);
+        assert_eq!(p.len(), 8); // T/2 bins
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration properties of the continuous wavelet transform engine:
+//! ridge tracking, time localisation, adjoint consistency across wavelet
+//! kinds and sizes, and inverse-transform quality.
+
+use proptest::prelude::*;
+use ts3_signal::{sample_wavelet, scale_set, CwtPlan, WaveletKind};
+
+fn sinusoid(t_len: usize, period: f32, phase: f32) -> Vec<f32> {
+    (0..t_len)
+        .map(|t| (std::f32::consts::TAU * t as f32 / period + phase).sin())
+        .collect()
+}
+
+#[test]
+fn ridge_frequency_is_monotone_in_signal_frequency() {
+    // Sweeping the input period must sweep the argmax sub-band
+    // monotonically (higher frequency -> higher band index).
+    let plan = CwtPlan::new(128, 12, WaveletKind::ComplexGaussian);
+    let band_of = |period: f32| -> usize {
+        let amp = plan.amplitude(&sinusoid(128, period, 0.0));
+        (0..12)
+            .max_by(|&a, &b| {
+                let ea: f32 = amp[a * 128..(a + 1) * 128].iter().map(|v| v * v).sum();
+                let eb: f32 = amp[b * 128..(b + 1) * 128].iter().map(|v| v * v).sum();
+                ea.partial_cmp(&eb).unwrap()
+            })
+            .unwrap()
+    };
+    let bands: Vec<usize> = [64.0f32, 32.0, 16.0, 8.0].iter().map(|&p| band_of(p)).collect();
+    for w in bands.windows(2) {
+        assert!(w[0] <= w[1], "ridge bands not monotone: {bands:?}");
+    }
+}
+
+#[test]
+fn burst_is_localised_in_time() {
+    // A Gaussian-windowed burst at t0 must concentrate TF energy near t0.
+    let t_len = 128;
+    let t0 = 90.0f32;
+    let x: Vec<f32> = (0..t_len)
+        .map(|t| {
+            let d = (t as f32 - t0) / 6.0;
+            (-d * d).exp() * (std::f32::consts::TAU * t as f32 / 8.0).sin()
+        })
+        .collect();
+    let plan = CwtPlan::new(t_len, 10, WaveletKind::ComplexGaussian);
+    let amp = plan.amplitude(&x);
+    // Column-wise total energy.
+    let col_energy: Vec<f32> = (0..t_len)
+        .map(|t| (0..10).map(|l| amp[l * t_len + t].powi(2)).sum())
+        .collect();
+    let peak = col_energy
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(
+        (peak as f32 - t0).abs() < 12.0,
+        "energy peak at {peak}, burst at {t0}"
+    );
+}
+
+#[test]
+fn phase_invariance_of_band_energy() {
+    // The order-0 complex Gaussian spans only ~1 carrier cycle, so the
+    // pointwise amplitude does wobble with phase; the per-band energy in
+    // the interior, however, must be phase-invariant.
+    let plan = CwtPlan::new(96, 8, WaveletKind::ComplexGaussian);
+    let a = plan.amplitude(&sinusoid(96, 16.0, 0.0));
+    let b = plan.amplitude(&sinusoid(96, 16.0, 1.3));
+    for l in 0..8 {
+        let ea: f32 = (24..72).map(|t| a[l * 96 + t].powi(2)).sum();
+        let eb: f32 = (24..72).map(|t| b[l * 96 + t].powi(2)).sum();
+        assert!(
+            (ea - eb).abs() < 0.2 * ea.max(1.0),
+            "band {l}: energy {ea} vs {eb}"
+        );
+    }
+}
+
+#[test]
+fn all_wavelet_kinds_have_consistent_adjoints() {
+    for kind in WaveletKind::ALL {
+        let plan = CwtPlan::new(40, 5, kind);
+        let x: Vec<f32> = (0..40).map(|i| ((i * 17 % 13) as f32 - 6.0) * 0.2).collect();
+        let n = 5 * 40;
+        let g_re: Vec<f32> = (0..n).map(|i| ((i * 5 % 7) as f32 - 3.0) * 0.1).collect();
+        let g_im: Vec<f32> = (0..n).map(|i| ((i * 11 % 9) as f32 - 4.0) * 0.1).collect();
+        let (y_re, y_im) = plan.forward_complex(&x);
+        let lhs: f32 = y_re.iter().zip(&g_re).map(|(a, b)| a * b).sum::<f32>()
+            + y_im.iter().zip(&g_im).map(|(a, b)| a * b).sum::<f32>();
+        let xt = plan.adjoint(&g_re, &g_im);
+        let rhs: f32 = x.iter().zip(&xt).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 2e-2 * lhs.abs().max(1.0),
+            "{kind:?}: <Wx,g> = {lhs} but <x,W'g> = {rhs}"
+        );
+    }
+}
+
+#[test]
+fn scale_set_spacing_matches_eq6() {
+    for lambda in [4usize, 16, 100] {
+        let s = scale_set(lambda);
+        for (i, &si) in s.iter().enumerate() {
+            let want = 2.0 * lambda as f32 / (i + 1) as f32;
+            assert!((si - want).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn filter_lengths_grow_with_scale() {
+    let mut prev = 0usize;
+    for s in [1.0f32, 2.0, 4.0, 8.0, 16.0] {
+        let (taps, half) = sample_wavelet(WaveletKind::ComplexGaussian1, s);
+        assert_eq!(taps.len(), 2 * half + 1);
+        assert!(half > prev);
+        prev = half;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn inverse_of_forward_tracks_bandlimited_signals(period in 10.0f32..40.0) {
+        let plan = CwtPlan::new(128, 16, WaveletKind::ComplexGaussian);
+        let x = sinusoid(128, period, 0.7);
+        let (re, _) = plan.forward_complex(&x);
+        let y = plan.inverse(&re);
+        let err: f32 = x[20..108].iter().zip(&y[20..108]).map(|(a, b)| (a - b).powi(2)).sum();
+        let energy: f32 = x[20..108].iter().map(|a| a * a).sum();
+        prop_assert!(err < 0.5 * energy, "period {period}: rel err {}", err / energy);
+    }
+
+    #[test]
+    fn amplitude_scales_linearly(gain in 0.5f32..4.0) {
+        let plan = CwtPlan::new(64, 6, WaveletKind::ComplexGaussian);
+        let x = sinusoid(64, 12.0, 0.0);
+        let xs: Vec<f32> = x.iter().map(|v| v * gain).collect();
+        let a = plan.amplitude(&x);
+        let b = plan.amplitude(&xs);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u * gain - v).abs() < 1e-2 * (u * gain).abs().max(0.1));
+        }
+    }
+}

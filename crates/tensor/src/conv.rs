@@ -1,0 +1,344 @@
+//! Convolution kernels: `im2col`/`col2im` based 2-D convolution, direct
+//! 1-D convolution, and the moving-average pooling used by trend
+//! decomposition.
+//!
+//! Layout conventions (matching the usual DL framework conventions):
+//! * conv2d input  `[B, C_in, H, W]`
+//! * conv2d weight `[C_out, C_in, KH, KW]`
+//! * conv1d input  `[B, C_in, L]`
+//! * conv1d weight `[C_out, C_in, K]`
+
+use crate::Tensor;
+
+/// Unfold `input` (`[C, H, W]`) into a `[C*kh*kw, oh*ow]` column matrix for
+/// a convolution with the given padding and stride 1.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, ph: usize, pw: usize) -> Tensor {
+    assert_eq!(input.rank(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let oh = h + 2 * ph + 1 - kh;
+    let ow = w + 2 * pw + 1 - kw;
+    let mut out = vec![0.0f32; c * kh * kw * oh * ow];
+    let src = input.as_slice();
+    let ocols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ocols;
+                for oi in 0..oh {
+                    // Input row index for this output row / kernel row.
+                    let ii = oi + ki;
+                    if ii < ph || ii >= h + ph {
+                        continue; // zero padding
+                    }
+                    let ii = ii - ph;
+                    for oj in 0..ow {
+                        let jj = oj + kj;
+                        if jj < pw || jj >= w + pw {
+                            continue;
+                        }
+                        let jj = jj - pw;
+                        out[row + oi * ow + oj] = src[(ci * h + ii) * w + jj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c * kh * kw, oh * ow])
+}
+
+/// Fold a `[C*kh*kw, oh*ow]` column matrix back into `[C, H, W]`,
+/// **accumulating** overlapping contributions — the adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)] // mirrors im2col geometry
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ph: usize,
+    pw: usize,
+) -> Tensor {
+    let oh = h + 2 * ph + 1 - kh;
+    let ow = w + 2 * pw + 1 - kw;
+    assert_eq!(cols.shape(), &[c * kh * kw, oh * ow], "col2im: column shape mismatch");
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    let ocols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ocols;
+                for oi in 0..oh {
+                    let ii = oi + ki;
+                    if ii < ph || ii >= h + ph {
+                        continue;
+                    }
+                    let ii = ii - ph;
+                    for oj in 0..ow {
+                        let jj = oj + kj;
+                        if jj < pw || jj >= w + pw {
+                            continue;
+                        }
+                        let jj = jj - pw;
+                        out[(ci * h + ii) * w + jj] += src[row + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// 2-D convolution (cross-correlation, as in DL frameworks), stride 1.
+///
+/// * `input`:  `[B, C_in, H, W]`
+/// * `weight`: `[C_out, C_in, KH, KW]`
+/// * returns `[B, C_out, OH, OW]` with `OH = H + 2*ph + 1 - KH`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, ph: usize, pw: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d input must be [B,C,H,W]");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [Co,Ci,KH,KW]");
+    let (b, cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, cin2, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(cin, cin2, "conv2d: channel mismatch (input {cin} vs weight {cin2})");
+    assert!(h + 2 * ph >= kh && w + 2 * pw >= kw, "conv2d: kernel larger than padded input");
+    let oh = h + 2 * ph + 1 - kh;
+    let ow = w + 2 * pw + 1 - kw;
+    let wmat = weight.reshape(&[cout, cin * kh * kw]);
+    let mut out = Tensor::zeros(&[b, cout, oh, ow]);
+    for bi in 0..b {
+        let x = input.index_axis(0, bi);
+        let cols = im2col(&x, kh, kw, ph, pw);
+        let y = wmat.matmul(&cols); // [cout, oh*ow]
+        out.assign_narrow(0, bi, &y.reshape(&[1, cout, oh, ow]));
+    }
+    out
+}
+
+/// 1-D convolution (cross-correlation), stride 1.
+///
+/// * `input`:  `[B, C_in, L]`
+/// * `weight`: `[C_out, C_in, K]`
+/// * returns `[B, C_out, L + 2*pad + 1 - K]`.
+pub fn conv1d(input: &Tensor, weight: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 3, "conv1d input must be [B,C,L]");
+    assert_eq!(weight.rank(), 3, "conv1d weight must be [Co,Ci,K]");
+    // Reuse the 2-D kernel with H = 1.
+    let (b, c, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (co, ci, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+    let x4 = input.reshape(&[b, c, 1, l]);
+    let w4 = weight.reshape(&[co, ci, 1, k]);
+    let y = conv2d(&x4, &w4, 0, pad);
+    let ol = y.shape()[3];
+    y.reshape(&[b, co, ol])
+}
+
+/// Moving-average along `axis` with window `k`, producing the **same
+/// length** via replicate padding — this is exactly the paper's
+/// `AvgPool(Padding(X))` trend extractor (Eq. 1).
+pub fn moving_avg_same(input: &Tensor, axis: usize, k: usize) -> Tensor {
+    assert!(k >= 1, "moving_avg_same: window must be >= 1");
+    if k == 1 {
+        return input.clone();
+    }
+    let before = (k - 1) / 2;
+    let after = k - 1 - before;
+    let padded = input.pad_axis_replicate(axis, before, after);
+    // Prefix-sum based windowed mean along `axis`.
+    let outer: usize = padded.shape()[..axis].iter().product();
+    let n = padded.shape()[axis];
+    let inner: usize = padded.shape()[axis + 1..].iter().product();
+    let out_n = n + 1 - k;
+    let mut out = vec![0.0f32; outer * out_n * inner];
+    let src = padded.as_slice();
+    for o in 0..outer {
+        for i in 0..inner {
+            let mut acc = 0.0f64;
+            for t in 0..k {
+                acc += src[(o * n + t) * inner + i] as f64;
+            }
+            out[o * out_n * inner + i] = (acc / k as f64) as f32;
+            for t in 1..out_n {
+                acc += src[(o * n + t + k - 1) * inner + i] as f64;
+                acc -= src[(o * n + t - 1) * inner + i] as f64;
+                out[(o * out_n + t) * inner + i] = (acc / k as f64) as f32;
+            }
+        }
+    }
+    let mut shape = input.shape().to_vec();
+    shape[axis] = out_n;
+    debug_assert_eq!(out_n, input.shape()[axis]);
+    Tensor::from_vec(out, &shape)
+}
+
+/// Average-pool along `axis` with non-overlapping windows of size `k`
+/// (last partial window averaged over its actual length).
+pub fn avg_pool_axis(input: &Tensor, axis: usize, k: usize) -> Tensor {
+    assert!(k >= 1, "avg_pool_axis: window must be >= 1");
+    let outer: usize = input.shape()[..axis].iter().product();
+    let n = input.shape()[axis];
+    let inner: usize = input.shape()[axis + 1..].iter().product();
+    let out_n = n.div_ceil(k);
+    let mut out = vec![0.0f32; outer * out_n * inner];
+    let src = input.as_slice();
+    for o in 0..outer {
+        for t_out in 0..out_n {
+            let start = t_out * k;
+            let len = k.min(n - start);
+            for i in 0..inner {
+                let mut acc = 0.0f32;
+                for t in start..start + len {
+                    acc += src[(o * n + t) * inner + i];
+                }
+                out[(o * out_n + t_out) * inner + i] = acc / len as f32;
+            }
+        }
+    }
+    let mut shape = input.shape().to_vec();
+    shape[axis] = out_n;
+    Tensor::from_vec(out, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im2col_identity_kernel_size_one() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 3, 4]);
+        let cols = im2col(&x, 1, 1, 0, 0);
+        assert_eq!(cols.shape(), &[1, 12]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv2d_identity() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, 0, 0);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv2d_mean_filter() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0 / 9.0);
+        let y = conv2d(&x, &w, 0, 0);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv2d_same_padding_shape() {
+        let x = Tensor::ones(&[2, 3, 5, 7]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let y = conv2d(&x, &w, 1, 1);
+        assert_eq!(y.shape(), &[2, 4, 5, 7]);
+        // Interior value: 3 channels * 9 taps = 27.
+        assert!((y.at(&[0, 0, 2, 3]) - 27.0).abs() < 1e-5);
+        // Corner sees only 4 taps per channel = 12.
+        assert!((y.at(&[0, 0, 0, 0]) - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv2d_manual_3x3_check() {
+        // x = [[1,2],[3,4]], kernel = [[1,0],[0,1]] (no padding) -> 1*1+4*1 = 5
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[1, 1, 2, 2]);
+        let y = conv2d(&x, &w, 0, 0);
+        assert_eq!(y.item(), 5.0);
+    }
+
+    #[test]
+    fn conv1d_matches_manual_correlation() {
+        // x = [1,2,3,4], k = [1,-1] -> [1*1+2*-1, 2-3, 3-4] = [-1,-1,-1]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0, -1.0], &[1, 1, 2]);
+        let y = conv1d(&x, &w, 0);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.as_slice(), &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn conv1d_multichannel_sums_channels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 2, 1]);
+        let y = conv1d(&x, &w, 0);
+        assert_eq!(y.as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let (c, h, w, kh, kw, ph, pw) = (2, 4, 5, 3, 3, 1, 1);
+        let x = Tensor::from_vec((0..c * h * w).map(|v| (v as f32).sin()).collect(), &[c, h, w]);
+        let cols = im2col(&x, kh, kw, ph, pw);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|v| ((v * 7 + 3) as f32).cos()).collect(),
+            cols.shape(),
+        );
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, c, h, w, kh, kw, ph, pw);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn moving_avg_preserves_length_and_constants() {
+        let x = Tensor::full(&[10, 2], 3.0);
+        let y = moving_avg_same(&x, 0, 5);
+        assert_eq!(y.shape(), &[10, 2]);
+        for v in y.as_slice() {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn moving_avg_smooths_ramp_interior() {
+        let x = Tensor::arange(9).reshape(&[9, 1]);
+        let y = moving_avg_same(&x, 0, 3);
+        // Interior of a ramp is unchanged by centered moving average.
+        for t in 1..8 {
+            assert!((y.at(&[t, 0]) - t as f32).abs() < 1e-5);
+        }
+        // Edges are pulled toward the replicated edge value.
+        assert!(y.at(&[0, 0]) > 0.0);
+    }
+
+    #[test]
+    fn moving_avg_window_one_is_identity() {
+        let x = Tensor::from_vec(vec![5.0, -2.0, 7.0], &[3, 1]);
+        assert_eq!(moving_avg_same(&x, 0, 1), x);
+    }
+
+    #[test]
+    fn avg_pool_axis_basic_and_ragged() {
+        let x = Tensor::arange(5).reshape(&[5, 1]);
+        let y = avg_pool_axis(&x, 0, 2);
+        assert_eq!(y.shape(), &[3, 1]);
+        assert_eq!(y.as_slice(), &[0.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_batch_independence() {
+        let x0 = Tensor::ones(&[1, 1, 3, 3]);
+        let x1 = Tensor::full(&[1, 1, 3, 3], 2.0);
+        let x = Tensor::concat(&[&x0, &x1], 0);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, 1, 1);
+        let y0 = conv2d(&x0, &w, 1, 1);
+        let y1 = conv2d(&x1, &w, 1, 1);
+        assert!(y.index_axis(0, 0).allclose(&y0.index_axis(0, 0), 1e-6));
+        assert!(y.index_axis(0, 1).allclose(&y1.index_axis(0, 0), 1e-6));
+    }
+}

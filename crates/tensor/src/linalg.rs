@@ -1,0 +1,324 @@
+//! Linear algebra: 2-D and batched 3-D matrix multiplication, transpose,
+//! and general axis permutation.
+//!
+//! The matmul kernel is a cache-friendly `i-k-j` loop: for each output row
+//! it streams across the shared dimension and accumulates scaled rows of
+//! `rhs`, which keeps the innermost loop a contiguous fused multiply-add
+//! that LLVM auto-vectorises.
+
+use crate::shape::strides_for;
+use crate::{Result, Tensor, TensorError};
+
+/// Multiply an `m x k` row-major block by a `k x n` block into `out`
+/// (`m x n`, pre-zeroed by the caller).
+fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a = lhs[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = &rhs[p * n..(p + 1) * n];
+            for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                *o += a * r;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix multiplication.
+    ///
+    /// Supported rank combinations:
+    /// * `[m,k] @ [k,n] -> [m,n]`
+    /// * `[b,m,k] @ [k,n] -> [b,m,n]` (shared rhs)
+    /// * `[b,m,k] @ [b,k,n] -> [b,m,n]` (batched)
+    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        match (self.rank(), rhs.rank()) {
+            (2, 2) => {
+                let (m, k) = (self.shape[0], self.shape[1]);
+                let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+                if k != k2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul",
+                    });
+                }
+                let mut out = vec![0.0f32; m * n];
+                matmul_block(&self.data, &rhs.data, &mut out, m, k, n);
+                Ok(Tensor { data: out, shape: vec![m, n] })
+            }
+            (3, 2) => {
+                let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+                let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+                if k != k2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul",
+                    });
+                }
+                let mut out = vec![0.0f32; b * m * n];
+                for bi in 0..b {
+                    matmul_block(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &rhs.data,
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Ok(Tensor { data: out, shape: vec![b, m, n] })
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+                let (b2, k2, n) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+                if k != k2 || b != b2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul",
+                    });
+                }
+                let mut out = vec![0.0f32; b * m * n];
+                for bi in 0..b {
+                    matmul_block(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &rhs.data[bi * k * n..(bi + 1) * k * n],
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Ok(Tensor { data: out, shape: vec![b, m, n] })
+            }
+            _ => Err(TensorError::Invalid(format!(
+                "matmul: unsupported rank combination {} @ {}",
+                self.rank(),
+                rhs.rank()
+            ))),
+        }
+    }
+
+    /// Panicking wrapper over [`Tensor::try_matmul`].
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul(rhs).expect("matmul: incompatible shapes")
+    }
+
+    /// 2-D transpose. For rank-3 tensors, swaps the last two axes
+    /// (batched transpose). Materialises a fresh buffer.
+    pub fn transpose(&self) -> Tensor {
+        match self.rank() {
+            2 => {
+                let (m, n) = (self.shape[0], self.shape[1]);
+                let mut data = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        data[j * m + i] = self.data[i * n + j];
+                    }
+                }
+                Tensor { data, shape: vec![n, m] }
+            }
+            3 => {
+                let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+                let mut data = vec![0.0f32; b * m * n];
+                for bi in 0..b {
+                    let src = &self.data[bi * m * n..(bi + 1) * m * n];
+                    let dst = &mut data[bi * m * n..(bi + 1) * m * n];
+                    for i in 0..m {
+                        for j in 0..n {
+                            dst[j * m + i] = src[i * n + j];
+                        }
+                    }
+                }
+                Tensor { data, shape: vec![b, n, m] }
+            }
+            r => panic!("transpose: expected rank 2 or 3 tensor, got rank {r}"),
+        }
+    }
+
+    /// General axis permutation (like `np.transpose(x, axes)`).
+    ///
+    /// # Panics
+    /// Panics if `axes` is not a permutation of `0..rank`.
+    pub fn permute(&self, axes: &[usize]) -> Tensor {
+        assert_eq!(axes.len(), self.rank(), "permute: axes length must equal rank");
+        let mut seen = vec![false; self.rank()];
+        for &a in axes {
+            assert!(a < self.rank() && !seen[a], "permute: axes must be a permutation");
+            seen[a] = true;
+        }
+        let out_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let in_strides = strides_for(&self.shape);
+        // Strides of the output walk, expressed in the input buffer.
+        let walk: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
+        let n = self.numel();
+        let mut data = Vec::with_capacity(n);
+        let rank = out_shape.len();
+        if rank == 0 {
+            return self.clone();
+        }
+        let mut coords = vec![0usize; rank];
+        let mut src = 0usize;
+        for _ in 0..n {
+            data.push(self.data[src]);
+            for ax in (0..rank).rev() {
+                coords[ax] += 1;
+                src += walk[ax];
+                if coords[ax] < out_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+                src -= walk[ax] * out_shape[ax];
+            }
+        }
+        Tensor { data, shape: out_shape }
+    }
+
+    /// Dot product of two 1-D tensors.
+    pub fn dot(&self, rhs: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot: lhs must be 1-D");
+        assert_eq!(self.shape, rhs.shape, "dot: shape mismatch");
+        self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Outer product of two 1-D tensors: `[m] x [n] -> [m,n]`.
+    pub fn outer(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer: lhs must be 1-D");
+        assert_eq!(rhs.rank(), 1, "outer: rhs must be 1-D");
+        let (m, n) = (self.shape[0], rhs.shape[0]);
+        let mut data = Vec::with_capacity(m * n);
+        for &a in &self.data {
+            for &b in &rhs.data {
+                data.push(a * b);
+            }
+        }
+        Tensor { data, shape: vec![m, n] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s)
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_identity_preserves() {
+        let a = t(vec![3.0, -1.0, 2.0, 0.5], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let w = Tensor::eye(3);
+        let c = a.matmul(&w);
+        assert_eq!(c.shape(), &[2, 2, 3]);
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_fully_batched() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 1.0, 0.0, 0.0, 1.0], &[2, 2, 2]);
+        let b = t(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[2, 3]);
+        assert!(a.try_matmul(&b).is_err());
+        let c = Tensor::ones(&[2]);
+        assert!(a.try_matmul(&c).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_3d_swaps_last_two() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let at = a.transpose();
+        assert_eq!(at.shape(), &[2, 3, 2]);
+        assert_eq!(at.at(&[0, 2, 1]), a.at(&[0, 1, 2]));
+        assert_eq!(at.at(&[1, 0, 1]), a.at(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.permute(&[1, 0]), a.transpose());
+    }
+
+    #[test]
+    fn permute_3d() {
+        let a = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+        assert_eq!(p.at(&[3, 1, 0]), a.at(&[1, 0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn permute_rejects_duplicates() {
+        let a = Tensor::ones(&[2, 2]);
+        let _ = a.permute(&[0, 0]);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[3, 3]);
+        assert_eq!(o.at(&[2, 0]), 12.0);
+    }
+
+    #[test]
+    fn matmul_associativity_with_identity_chain() {
+        let a = t(vec![2.0, 1.0, 0.0, 3.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        let left = a.matmul(&i).matmul(&a);
+        let right = a.matmul(&i.matmul(&a));
+        assert!(left.allclose(&right, 1e-5));
+    }
+}

@@ -1,0 +1,102 @@
+//! Quickstart: decompose a series into trend / regular / fluctuant parts
+//! with the paper's triple decomposition, then train a small TS3Net to
+//! forecast it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ts3_nn::{Adam, Ctx, Optimizer};
+use ts3_signal::{triple_decompose, TripleConfig};
+use ts3_tensor::Tensor;
+use ts3net_core::{ForecastModel, TS3Net, TS3NetConfig};
+
+fn main() {
+    // 1. A toy series: trend + stable daily cycle + an amplitude-modulated
+    //    component (the "fluctuant" ingredient TS3Net isolates).
+    let t_total = 480usize;
+    let series: Vec<f32> = (0..t_total)
+        .map(|t| {
+            let tf = t as f32;
+            0.004 * tf
+                + (std::f32::consts::TAU * tf / 24.0).sin()
+                + (1.0 + 0.6 * (std::f32::consts::TAU * tf / 120.0).sin())
+                    * 0.5
+                    * (std::f32::consts::TAU * tf / 8.0).sin()
+        })
+        .collect();
+    let x = Tensor::from_vec(series.clone(), &[t_total, 1]);
+
+    // 2. Triple decomposition (paper Eq. 1-11).
+    let d = triple_decompose(&x.narrow(0, 0, 192), &TripleConfig::default());
+    let energy = |t: &Tensor| t.as_slice().iter().map(|v| v * v).sum::<f32>();
+    println!("triple decomposition of the first 192 steps (T_f = {}):", d.t_f);
+    println!("  trend energy     = {:.2}", energy(&d.trend));
+    println!("  regular energy   = {:.2}", energy(&d.regular));
+    println!("  fluctuant energy = {:.2}", energy(&d.fluctuant_1d));
+    println!(
+        "  reconstruction max error = {:.2e}",
+        d.reconstruct().max_abs_diff(&x.narrow(0, 0, 192))
+    );
+
+    // 3. Train a small TS3Net: lookback 48 -> horizon 24.
+    let (lookback, horizon) = (48usize, 24usize);
+    let mut cfg = TS3NetConfig::scaled(1, lookback, horizon);
+    cfg.lambda = 6;
+    cfg.d_model = 8;
+    cfg.d_hidden = 8;
+    let model = TS3Net::new(cfg, 42);
+    let mut opt = Adam::new(model.parameters(), 5e-3);
+    let mut ctx = Ctx::train(0);
+    println!("\ntraining TS3Net ({} parameters)...", model.num_parameters());
+    for step in 0..40 {
+        // One random window per step.
+        let start = (step * 7) % (t_total - lookback - horizon);
+        let xw = x.narrow(0, start, lookback).reshape(&[1, lookback, 1]);
+        let yw = x.narrow(0, start + lookback, horizon).reshape(&[1, horizon, 1]);
+        let loss = model.forecast(&xw, &mut ctx).mse_loss(&yw);
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+        if step % 10 == 0 {
+            println!("  step {step:>3}: loss = {:.4}", loss.value().item());
+        }
+    }
+
+    // 4. Forecast the tail of the series.
+    let start = t_total - lookback - horizon;
+    let xw = x.narrow(0, start, lookback).reshape(&[1, lookback, 1]);
+    let truth = x.narrow(0, start + lookback, horizon);
+    let mut ectx = Ctx::eval();
+    let pred = model.forecast(&xw, &mut ectx);
+    let mse = ts3_nn::mse(&pred.value().reshape(&[horizon, 1]), &truth);
+    println!("\nforecast MSE on the held-out tail: {mse:.4}");
+
+    // 5. Checkpoint the trained weights and restore them into a fresh
+    //    model: the forecasts must be bit-identical.
+    let ckpt_path = std::env::temp_dir().join("ts3net_quickstart.json");
+    let snapshot = ts3_nn::Checkpoint::capture(&model.parameters());
+    snapshot.save(&ckpt_path).expect("save checkpoint");
+    let restored = TS3Net::new(
+        {
+            let mut c = TS3NetConfig::scaled(1, lookback, horizon);
+            c.lambda = 6;
+            c.d_model = 8;
+            c.d_hidden = 8;
+            c
+        },
+        7, // different seed: weights come from the checkpoint
+    );
+    ts3_nn::Checkpoint::load(&ckpt_path)
+        .expect("load checkpoint")
+        .restore(&restored.parameters())
+        .expect("restore weights");
+    let pred2 = restored.forecast(&xw, &mut ectx);
+    println!(
+        "checkpoint round-trip max forecast diff: {:.2e} ({})",
+        pred.value().max_abs_diff(pred2.value()),
+        ckpt_path.display()
+    );
+    std::fs::remove_file(&ckpt_path).ok();
+    println!("done.");
+}

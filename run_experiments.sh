@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerate every table and figure at the quick profile, logging to results/logs/.
+cd /root/repo
+set -x
+for b in table2 table3 fig5 table4 table5 table6 table7 table8 table9 fig3 fig4; do
+  ./target/release/$b > results/logs/$b.log 2>&1
+  echo "DONE $b $(date +%H:%M:%S)"
+done
+echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,18 @@
+//! Workspace root for the TS3Net reproduction: re-exports of the crate
+//! family so examples and integration tests have one import surface.
+//!
+//! * [`ts3_tensor`] — dense f32 tensors;
+//! * [`ts3_signal`] — FFT / CWT / decomposition signal processing;
+//! * [`ts3_autograd`] — reverse-mode automatic differentiation;
+//! * [`ts3_nn`] — layers, optimisers, metrics;
+//! * [`ts3_data`] — benchmark generators, windowing, masking;
+//! * [`ts3net_core`] — the TS3Net model itself;
+//! * [`ts3_baselines`] — the ten comparison models + TSD controls.
+
+pub use ts3_autograd;
+pub use ts3_baselines;
+pub use ts3_data;
+pub use ts3_nn;
+pub use ts3_signal;
+pub use ts3_tensor;
+pub use ts3net_core;

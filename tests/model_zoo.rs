@@ -1,0 +1,136 @@
+//! Integration tests over the complete model zoo: every Table IV model
+//! builds, forecasts with the right shape, takes a training step that
+//! reduces loss, and works as an imputer.
+
+use ts3_baselines::{build_forecaster, build_imputer, BaselineConfig, TABLE4_MODELS};
+use ts3_nn::{Adam, Ctx, Optimizer};
+use ts3_tensor::Tensor;
+use ts3net_core::TS3NetConfig;
+
+fn configs(c: usize, lookback: usize, horizon: usize) -> (BaselineConfig, TS3NetConfig) {
+    let cfg = BaselineConfig::scaled(c, lookback, horizon);
+    let mut ts3 = TS3NetConfig::scaled(c, lookback, horizon);
+    ts3.lambda = 4;
+    ts3.d_model = 4;
+    ts3.d_hidden = 4;
+    ts3.dropout = 0.0;
+    (cfg, ts3)
+}
+
+fn periodic_batch(b: usize, t: usize, c: usize) -> Tensor {
+    let mut v = Vec::with_capacity(b * t * c);
+    for bi in 0..b {
+        for ti in 0..t {
+            for ci in 0..c {
+                v.push((std::f32::consts::TAU * ti as f32 / 8.0 + (bi * c + ci) as f32).sin());
+            }
+        }
+    }
+    Tensor::from_vec(v, &[b, t, c])
+}
+
+#[test]
+fn every_model_takes_a_useful_training_step() {
+    let (cfg, ts3) = configs(3, 24, 12);
+    let x = periodic_batch(2, 24, 3);
+    let y = periodic_batch(2, 12, 3).mul_scalar(0.5);
+    for name in TABLE4_MODELS {
+        let model = build_forecaster(name, &cfg, &ts3, 7);
+        let mut opt = Adam::new(model.parameters(), 2e-3);
+        let mut ctx = Ctx::train(0);
+        let mut first = 0.0f32;
+        let mut last = 0.0f32;
+        for step in 0..6 {
+            let loss = model.forecast(&x, &mut ctx).mse_loss(&y);
+            if step == 0 {
+                first = loss.value().item();
+            }
+            last = loss.value().item();
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!(
+            last < first,
+            "{name}: loss did not decrease ({first} -> {last})"
+        );
+    }
+}
+
+#[test]
+fn every_model_is_batch_consistent() {
+    // Forecasting a batch must equal forecasting each window separately
+    // (models with batch statistics would violate this; none should).
+    let (cfg, ts3) = configs(2, 16, 8);
+    let x = periodic_batch(2, 16, 2);
+    for name in TABLE4_MODELS {
+        // Auto-correlation and period detection pool statistics across
+        // the batch by design (data-dependent constants); skip those two.
+        if name == "Autoformer" || name == "TimesNet" || name == "TS3Net" {
+            continue;
+        }
+        let model = build_forecaster(name, &cfg, &ts3, 3);
+        let mut ctx = Ctx::eval();
+        let joint = model.forecast(&x, &mut ctx);
+        let solo0 = model.forecast(&x.narrow(0, 0, 1), &mut ctx);
+        assert!(
+            joint
+                .value()
+                .narrow(0, 0, 1)
+                .allclose(solo0.value(), 1e-4),
+            "{name}: batch inconsistency"
+        );
+    }
+}
+
+#[test]
+fn every_imputer_reconstructs_with_finite_error() {
+    let (cfg, ts3) = configs(2, 16, 16);
+    let x = periodic_batch(1, 16, 2);
+    let mask = Tensor::from_vec(
+        (0..32).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect(),
+        &[1, 16, 2],
+    );
+    let keep = mask.map(|m| 1.0 - m);
+    let masked = x.mul(&keep);
+    for name in TABLE4_MODELS {
+        let model = build_imputer(name, &cfg, &ts3, 11);
+        let mut ctx = Ctx::eval();
+        let y = model.impute(&masked, &mask, &mut ctx);
+        assert_eq!(y.shape(), &[1, 16, 2], "{name}");
+        assert!(y.value().all_finite(), "{name}: non-finite output");
+    }
+}
+
+#[test]
+fn models_are_deterministic_per_seed() {
+    let (cfg, ts3) = configs(2, 16, 8);
+    let x = periodic_batch(1, 16, 2);
+    for name in ["TS3Net", "PatchTST", "MICN"] {
+        let a = build_forecaster(name, &cfg, &ts3, 5);
+        let b = build_forecaster(name, &cfg, &ts3, 5);
+        let mut c1 = Ctx::eval();
+        let mut c2 = Ctx::eval();
+        let ya = a.forecast(&x, &mut c1);
+        let yb = b.forecast(&x, &mut c2);
+        assert!(
+            ya.value().allclose(yb.value(), 1e-6),
+            "{name}: same seed produced different models"
+        );
+    }
+}
+
+#[test]
+fn parameter_counts_are_positive_and_stable() {
+    let (cfg, ts3) = configs(3, 24, 12);
+    for name in TABLE4_MODELS {
+        let m1 = build_forecaster(name, &cfg, &ts3, 0);
+        let m2 = build_forecaster(name, &cfg, &ts3, 1);
+        assert!(m1.num_parameters() > 0, "{name}");
+        assert_eq!(
+            m1.num_parameters(),
+            m2.num_parameters(),
+            "{name}: parameter count depends on the seed"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Workspace-level property-based tests (proptest) pinning the core
+//! mathematical invariants the reproduction relies on.
+
+use proptest::prelude::*;
+use ts3_autograd::{gradcheck_var, Var};
+use ts3_data::{mask_batch, StandardScaler};
+use ts3_signal::complex::Complex32;
+use ts3_signal::fft::{dft_naive, fft, ifft};
+use ts3_signal::{spectrum_gradient, triple_decompose, TripleConfig};
+use ts3_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-10.0f32..10.0, 4..64)) {
+        let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-2);
+            prop_assert!(b.im.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(values in prop::collection::vec(-5.0f32..5.0, 3..33)) {
+        let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-2, "{a:?} vs {b:?}");
+            prop_assert!((a.im - b.im).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(values in prop::collection::vec(-5.0f32..5.0, 8..40)) {
+        let n = values.len() as f32;
+        let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
+        let time: f32 = values.iter().map(|v| v * v).sum();
+        let freq: f32 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f32>() / n;
+        prop_assert!((time - freq).abs() < 1e-2 * time.max(1.0));
+    }
+
+    #[test]
+    fn triple_decomposition_reconstructs(
+        seedlike in prop::collection::vec(-2.0f32..2.0, 48..96),
+    ) {
+        let t = seedlike.len();
+        let x = Tensor::from_vec(seedlike, &[t, 1]);
+        let cfg = TripleConfig { lambda: 4, ..Default::default() };
+        let d = triple_decompose(&x, &cfg);
+        // Eq. 1 + Eq. 10 are exact splits: trend + regular + fluctuant = x.
+        prop_assert!(d.reconstruct().allclose(&x, 1e-3));
+    }
+
+    #[test]
+    fn spectrum_gradient_inverts_by_prefix_sum(
+        grid in prop::collection::vec(-3.0f32..3.0, 24..48),
+        t_f in 2usize..8,
+    ) {
+        // Delta[t] = TF[t] - TF[t - t_f]; summing Delta over the chunk
+        // chain recovers TF exactly.
+        let t = grid.len();
+        let tf = Tensor::from_vec(grid.clone(), &[1, t]);
+        let g = spectrum_gradient(&tf, t_f);
+        #[allow(clippy::needless_range_loop)]
+        for start in 0..t {
+            let mut acc = 0.0f32;
+            let mut idx = start;
+            loop {
+                acc += g.at(&[0, idx]);
+                if idx < t_f { break; }
+                idx -= t_f;
+            }
+            prop_assert!((acc - grid[start]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scaler_round_trip(values in prop::collection::vec(-100.0f32..100.0, 10..60)) {
+        let n = values.len();
+        let x = Tensor::from_vec(values, &[n, 1]);
+        let s = StandardScaler::fit(&x);
+        let back = s.inverse_transform(&s.transform(&x));
+        prop_assert!(back.allclose(&x, 1e-2));
+    }
+
+    #[test]
+    fn mask_ratio_and_disjointness(ratio in 0.05f32..0.6, seed in 0u64..1000) {
+        let x = Tensor::ones(&[2, 96, 4]);
+        let mb = mask_batch(&x, ratio, seed);
+        let measured = mb.mask.sum() / mb.mask.numel() as f32;
+        prop_assert!((measured - ratio).abs() < 0.1);
+        // masked * mask == 0 everywhere (hidden points really hidden).
+        for (m, v) in mb.mask.as_slice().iter().zip(mb.masked.as_slice()) {
+            prop_assert!(m * v == 0.0);
+        }
+    }
+
+    #[test]
+    fn gradcheck_random_two_layer_net(
+        input in prop::collection::vec(-1.0f32..1.0, 6),
+        wseed in 0u64..100,
+    ) {
+        let x = Tensor::from_vec(input, &[2, 3]);
+        let report = gradcheck_var(
+            |v| {
+                let w1 = Var::constant(Tensor::randn(&[3, 4], wseed).mul_scalar(0.5));
+                let w2 = Var::constant(Tensor::randn(&[4, 2], wseed + 1).mul_scalar(0.5));
+                v.matmul(&w1).gelu().matmul(&w2).tanh().square().sum()
+            },
+            &x,
+            1e-2,
+        );
+        prop_assert!(report.max_rel_err < 0.08, "rel err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn tensor_broadcast_add_commutes(
+        a in prop::collection::vec(-5.0f32..5.0, 6),
+        b in prop::collection::vec(-5.0f32..5.0, 3),
+    ) {
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3]);
+        prop_assert!(ta.add(&tb).allclose(&tb.add(&ta), 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-2.0f32..2.0, 4),
+        b in prop::collection::vec(-2.0f32..2.0, 4),
+        c in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let ta = Tensor::from_vec(a, &[2, 2]);
+        let tb = Tensor::from_vec(b, &[2, 2]);
+        let tc = Tensor::from_vec(c, &[2, 2]);
+        let lhs = ta.matmul(&tb.add(&tc));
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+}
