@@ -4,8 +4,8 @@
 use crate::var::Var;
 
 impl Var {
-    /// Matrix multiplication; see [`Tensor::try_matmul`] for the supported
-    /// rank combinations.
+    /// Matrix multiplication; see [`ts3_tensor::Tensor::try_matmul`] for
+    /// the supported rank combinations.
     pub fn matmul(&self, rhs: &Var) -> Var {
         let value = self.value().matmul(rhs.value());
         Var::node(

@@ -3,8 +3,8 @@
 //! blocks + decomposition).
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{
     Activation, AutoCorrelationBlock, Ctx, DataEmbedding, FourierBlock, LayerNorm, Mlp, Module,

@@ -2,8 +2,8 @@
 //! **LightTS** (Zhang et al., 2022).
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Activation, Ctx, Mlp, Module};
 use ts3_tensor::{moving_avg_same, Tensor};

@@ -5,8 +5,8 @@
 //! complexity, plus a linear-regression trend branch.
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Conv1d, Ctx, DataEmbedding, Linear, Module};
 use ts3_tensor::{moving_avg_same, Tensor};

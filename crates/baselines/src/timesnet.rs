@@ -5,8 +5,8 @@
 //! architecture TS3Net's TF-Block generalises.
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Ctx, DataEmbedding, InceptionBlock, Module};
 use ts3_signal::topk_periods_multi;

@@ -5,8 +5,8 @@
 //! patching).
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{
     AttentionKind, Conv1d, Ctx, DataEmbedding, EncoderLayer, Linear, Module,

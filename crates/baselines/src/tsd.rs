@@ -5,8 +5,8 @@
 //! decomposition against the conventional two-way split.
 
 use crate::config::BaselineConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{AttentionKind, Ctx, DataEmbedding, EncoderLayer, Module};
 use ts3_signal::WaveletKind;

@@ -1,90 +1,80 @@
-//! Criterion micro-benchmarks for the numeric substrate: FFT, CWT,
-//! matmul, conv2d, trend decomposition and spectrum-gradient kernels —
-//! the building blocks whose cost dominates every table run.
+//! Micro-benchmarks for the numeric substrate: FFT, CWT, matmul, conv2d,
+//! trend decomposition and spectrum-gradient kernels — the building
+//! blocks whose cost dominates every table run.
+//!
+//! Run with: `cargo bench -p ts3-bench --features bench-harness`
+//! (off by default so plain `cargo test` never builds these).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ts3_bench::timing::{black_box, Harness};
 use ts3_signal::complex::Complex32;
 use ts3_signal::decompose::{spectrum_gradient, trend_decompose, DEFAULT_TREND_KERNELS};
 use ts3_signal::fft::fft;
 use ts3_signal::{CwtPlan, WaveletKind};
 use ts3_tensor::{conv2d, Tensor};
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench_fft(h: &mut Harness) {
     for n in [96usize, 256, 1024] {
         let x: Vec<Complex32> = (0..n)
             .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
-            b.iter(|| fft(black_box(x)))
-        });
+        h.bench(&format!("fft/{n}"), || fft(black_box(&x)));
     }
-    group.finish();
 }
 
-fn bench_cwt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cwt");
+fn bench_cwt(h: &mut Harness) {
     let x: Vec<f32> = (0..96).map(|i| (i as f32 * 0.3).sin()).collect();
     for lambda in [8usize, 16, 32] {
         let plan = CwtPlan::new(96, lambda, WaveletKind::ComplexGaussian);
-        group.bench_with_input(
-            BenchmarkId::new("forward_amp", lambda),
-            &plan,
-            |b, plan| b.iter(|| plan.amplitude(black_box(&x))),
-        );
+        h.bench(&format!("cwt/forward_amp/{lambda}"), || {
+            plan.amplitude(black_box(&x))
+        });
     }
     let plan = CwtPlan::new(96, 16, WaveletKind::ComplexGaussian);
     let w: Vec<f32> = (0..16 * 96).map(|i| (i as f32 * 0.01).sin()).collect();
-    group.bench_function("inverse_16", |b| b.iter(|| plan.inverse(black_box(&w))));
+    h.bench("cwt/inverse_16", || plan.inverse(black_box(&w)));
     let g_re = w.clone();
     let g_im = w.clone();
-    group.bench_function("adjoint_16", |b| {
-        b.iter(|| plan.adjoint(black_box(&g_re), black_box(&g_im)))
+    h.bench("cwt/adjoint_16", || {
+        plan.adjoint(black_box(&g_re), black_box(&g_im))
     });
-    group.finish();
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(h: &mut Harness) {
     for n in [32usize, 64, 128] {
         let a = Tensor::randn(&[n, n], 1);
         let b_t = Tensor::randn(&[n, n], 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| a.matmul(black_box(&b_t)))
-        });
+        h.bench(&format!("matmul/{n}"), || a.matmul(black_box(&b_t)));
     }
-    group.finish();
 }
 
-fn bench_conv2d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv2d");
+fn bench_conv2d(h: &mut Harness) {
     // The TF-Block's inception shape: [B=8, C=8, lambda=8, T=96].
     let x = Tensor::randn(&[8, 8, 8, 96], 3);
     for k in [1usize, 3, 5] {
         let w = Tensor::randn(&[8, 8, k, k], 4);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
-            bch.iter(|| conv2d(black_box(&x), black_box(&w), k / 2, k / 2))
+        h.bench(&format!("conv2d/{k}"), || {
+            conv2d(black_box(&x), black_box(&w), k / 2, k / 2)
         });
     }
-    group.finish();
 }
 
-fn bench_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decomposition");
+fn bench_decomposition(h: &mut Harness) {
     let x = Tensor::randn(&[96, 7], 5);
-    group.bench_function("trend_decompose_96x7", |b| {
-        b.iter(|| trend_decompose(black_box(&x), &DEFAULT_TREND_KERNELS))
+    h.bench("decomposition/trend_decompose_96x7", || {
+        trend_decompose(black_box(&x), &DEFAULT_TREND_KERNELS)
     });
     let tf = Tensor::randn(&[16, 96], 6);
-    group.bench_function("spectrum_gradient_16x96", |b| {
-        b.iter(|| spectrum_gradient(black_box(&tf), 24))
+    h.bench("decomposition/spectrum_gradient_16x96", || {
+        spectrum_gradient(black_box(&tf), 24)
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_fft, bench_cwt, bench_matmul, bench_conv2d, bench_decomposition
+fn main() {
+    let mut h = Harness::new();
+    bench_fft(&mut h);
+    bench_cwt(&mut h);
+    bench_matmul(&mut h);
+    bench_conv2d(&mut h);
+    bench_decomposition(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

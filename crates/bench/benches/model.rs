@@ -1,10 +1,12 @@
-//! Criterion benchmarks at model granularity: forward and
-//! forward+backward of TS3Net and representative baselines at the scaled
-//! profile, plus the data-side triple decomposition. These are the unit
-//! costs behind every cell of Tables IV–IX.
+//! Benchmarks at model granularity: forward and forward+backward of
+//! TS3Net and representative baselines at the scaled profile, plus the
+//! data-side triple decomposition. These are the unit costs behind
+//! every cell of Tables IV–IX.
+//!
+//! Run with: `cargo bench -p ts3-bench --features bench-harness`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ts3_baselines::{build_forecaster, BaselineConfig};
+use ts3_bench::timing::{black_box, Harness};
 use ts3_nn::Ctx;
 use ts3_signal::{triple_decompose, TripleConfig};
 use ts3_tensor::Tensor;
@@ -22,53 +24,43 @@ fn batch(b: usize, t: usize, c: usize) -> Tensor {
     Tensor::from_vec(v, &[b, t, c])
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_step");
-    group.sample_size(10);
-    let (b, t, ch, h) = (8usize, 96usize, 7usize, 96usize);
+fn bench_models(h: &mut Harness) {
+    let (b, t, ch, hz) = (8usize, 96usize, 7usize, 96usize);
     let x = batch(b, t, ch);
-    let y = Tensor::zeros(&[b, h, ch]);
-    let cfg = BaselineConfig::scaled(ch, t, h);
-    let ts3 = TS3NetConfig::scaled(ch, t, h);
+    let y = Tensor::zeros(&[b, hz, ch]);
+    let cfg = BaselineConfig::scaled(ch, t, hz);
+    let ts3 = TS3NetConfig::scaled(ch, t, hz);
     for name in ["TS3Net", "DLinear", "PatchTST", "TimesNet", "Informer"] {
         let model = build_forecaster(name, &cfg, &ts3, 0);
-        group.bench_function(format!("{name}_forward"), |bch| {
-            bch.iter(|| {
-                let mut ctx = Ctx::eval();
-                black_box(model.forecast(black_box(&x), &mut ctx))
-            })
+        h.bench(&format!("model_step/{name}_forward"), || {
+            let mut ctx = Ctx::eval();
+            black_box(model.forecast(black_box(&x), &mut ctx))
         });
-        group.bench_function(format!("{name}_train_step"), |bch| {
-            bch.iter(|| {
-                let mut ctx = Ctx::train(0);
-                let loss = model.forecast(black_box(&x), &mut ctx).mse_loss(&y);
-                for p in model.parameters() {
-                    p.zero_grad();
-                }
-                loss.backward();
-                black_box(loss.value().item())
-            })
+        h.bench(&format!("model_step/{name}_train_step"), || {
+            let mut ctx = Ctx::train(0);
+            let loss = model.forecast(black_box(&x), &mut ctx).mse_loss(&y);
+            for p in model.parameters() {
+                p.zero_grad();
+            }
+            loss.backward();
+            black_box(loss.value().item())
         });
     }
-    group.finish();
 }
 
-fn bench_triple_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("triple_decomposition");
-    group.sample_size(10);
+fn bench_triple_decomposition(h: &mut Harness) {
     let x = batch(1, 192, 1).reshape(&[192, 1]);
     for lambda in [8usize, 16] {
         let cfg = TripleConfig { lambda, ..Default::default() };
-        group.bench_function(format!("lambda_{lambda}_192x1"), |b| {
-            b.iter(|| triple_decompose(black_box(&x), &cfg))
+        h.bench(&format!("triple_decomposition/lambda_{lambda}_192x1"), || {
+            triple_decompose(black_box(&x), &cfg)
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_models, bench_triple_decomposition
+fn main() {
+    let mut h = Harness::new();
+    bench_models(&mut h);
+    bench_triple_decomposition(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

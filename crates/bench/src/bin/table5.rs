@@ -105,8 +105,12 @@ fn main() {
     }
     table.push_row(row);
     print!("{}", table.render());
-    match table.write_csv(&ts3_bench::csv_stem("table5", profile.name)) {
-        Ok(p) => println!("\nwrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+    let stem = ts3_bench::csv_stem("table5", profile.name);
+    println!();
+    for res in [table.write_csv(&stem), table.write_json(&stem)] {
+        match res {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("result write failed: {e}"),
+        }
     }
 }

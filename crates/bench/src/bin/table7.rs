@@ -59,8 +59,12 @@ fn main() {
         table.push_row(mae_row);
     }
     print!("{}", table.render());
-    match table.write_csv(&ts3_bench::csv_stem("table7", profile.name)) {
-        Ok(p) => println!("\nwrote {}", p.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+    let stem = ts3_bench::csv_stem("table7", profile.name);
+    println!();
+    for res in [table.write_csv(&stem), table.write_json(&stem)] {
+        match res {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("result write failed: {e}"),
+        }
     }
 }

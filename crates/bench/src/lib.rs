@@ -7,14 +7,17 @@
 //! * [`profile`] — smoke / quick / full compute profiles;
 //! * [`runner`] — the train/early-stop/evaluate loop (Adam, patience 3,
 //!   MSE/MAE) for forecasting and imputation;
-//! * [`report`] — aligned console tables + CSV persistence into
+//! * [`report`] — aligned console tables + CSV/JSON persistence into
 //!   `results/`;
+//! * [`timing`] — the wall-clock harness behind the opt-in `benches/`
+//!   targets (`--features bench-harness`);
 //! * [`viz`] — ASCII line plots and heat maps for the figures.
 
 pub mod experiments;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod timing;
 pub mod viz;
 
 pub use experiments::{cell_configs, horizons_for, lookback_for, paper_horizons, run_forecast_cell, spec, sweep_horizons, TABLE4_DATASETS, TABLE5_DATASETS};

@@ -1,9 +1,10 @@
 //! Result tables: fixed-width console rendering (mirroring the paper's
-//! row/column layout) and CSV persistence under `results/`.
+//! row/column layout) and CSV + JSON persistence under `results/`.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use ts3_json::Json;
 
 /// A rectangular result table.
 #[derive(Debug, Clone)]
@@ -92,6 +93,38 @@ impl Table {
         }
         Ok(path)
     }
+
+    /// Mirror the table as JSON into `results/<stem>.json`: the title,
+    /// the column list, and one object per row keyed by column header.
+    /// Cells stay strings, exactly as rendered to console/CSV.
+    pub fn write_json(&self, stem: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        let rows: Json = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.columns
+                        .iter()
+                        .zip(row)
+                        .map(|(c, cell)| (c.clone(), Json::from(cell.as_str())))
+                        .collect(),
+                )
+            })
+            .collect();
+        let doc = Json::obj([
+            ("title", Json::from(self.title.as_str())),
+            (
+                "columns",
+                self.columns.iter().map(|c| Json::from(c.as_str())).collect(),
+            ),
+            ("rows", rows),
+        ]);
+        fs::write(&path, doc.to_string_pretty())?;
+        Ok(path)
+    }
 }
 
 /// Locate the workspace `results/` directory (falls back to `./results`).
@@ -148,6 +181,19 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_mirror_matches_table() {
+        let mut t = Table::new("J", &["Model", "MSE"]);
+        t.push_row(vec!["TS3Net".into(), "0.324".into()]);
+        let path = t.write_json("report_json_test").unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("title").unwrap().as_str(), Some("J"));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("MSE").unwrap().as_str(), Some("0.324"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Minimal wall-clock timing harness for the opt-in benchmarks under
+//! `benches/` (replacing criterion so the workspace stays free of
+//! external dependencies).
+//!
+//! Methodology: each benchmark is warmed up for a fixed duration, then
+//! measured in batches — the per-call iteration count is auto-scaled so
+//! one sample lasts at least `MIN_SAMPLE` (1 ms), which keeps `Instant`
+//! quantisation noise well below 1%. We report the **minimum** and
+//! median per-iteration time across samples; the minimum is the
+//! standard low-noise estimator for CPU-bound kernels (any run can only
+//! be slowed down by interference, never sped up).
+//!
+//! Knobs: `TS3_BENCH_MS` overrides the per-benchmark measurement budget
+//! in milliseconds (default 300).
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name benchmark
+/// bodies conventionally use.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(100);
+const MIN_SAMPLE: Duration = Duration::from_millis(1);
+const MAX_SAMPLES: usize = 50;
+
+fn measure_budget() -> Duration {
+    std::env::var("TS3_BENCH_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(Duration::from_millis(300), Duration::from_millis)
+}
+
+/// Timing summary of one benchmark (per-iteration durations).
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest observed sample — the headline number.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+/// Collects named benchmark results and renders a summary table.
+#[derive(Default)]
+pub struct Harness {
+    results: Vec<(String, Stats)>,
+}
+
+impl Harness {
+    /// Fresh harness; labels are printed in registration order.
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Measure `f` and record it under `label`. Prints one progress
+    /// line immediately so long runs show liveness.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        let stats = run_one(&mut f);
+        println!(
+            "{label:<40} min {:>12}  median {:>12}  ({} iters)",
+            fmt_duration(stats.min),
+            fmt_duration(stats.median),
+            stats.iters
+        );
+        self.results.push((label.to_string(), stats));
+    }
+
+    /// Render the final summary table (sorted as registered).
+    pub fn finish(self) {
+        println!("\n== benchmark summary ({} entries) ==", self.results.len());
+        for (label, s) in &self.results {
+            println!("{label:<40} {:>12}", fmt_duration(s.min));
+        }
+    }
+}
+
+fn run_one<R>(f: &mut impl FnMut() -> R) -> Stats {
+    // Warm-up: also discovers how many iterations fill MIN_SAMPLE.
+    let mut per_sample = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..per_sample {
+            hint_black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt < MIN_SAMPLE {
+            per_sample = per_sample.saturating_mul(2);
+        } else if warm_start.elapsed() >= WARMUP {
+            break;
+        }
+    }
+    // Measurement.
+    let budget = measure_budget();
+    let mut samples: Vec<Duration> = Vec::new();
+    let mut total_iters = 0u64;
+    let run_start = Instant::now();
+    while run_start.elapsed() < budget && samples.len() < MAX_SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..per_sample {
+            hint_black_box(f());
+        }
+        samples.push(t0.elapsed() / per_sample as u32);
+        total_iters += per_sample;
+    }
+    samples.sort();
+    Stats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        iters: total_iters,
+    }
+}
+
+/// Human format with µs/ms/s auto-ranging.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_ranges() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn harness_records_each_bench() {
+        // Keep the budget tiny so the unit test stays fast.
+        std::env::set_var("TS3_BENCH_MS", "5");
+        let mut h = Harness::new();
+        h.bench("noop", || black_box(1 + 1));
+        assert_eq!(h.results.len(), 1);
+        assert!(h.results[0].1.iters > 0);
+        h.finish();
+        std::env::remove_var("TS3_BENCH_MS");
+    }
+}

@@ -8,8 +8,8 @@ use crate::ops::iwt;
 use crate::sgd_layer::SgdLayer;
 use crate::tf_block::{branch_plans, TfBlock};
 use crate::traits::ForecastModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use std::rc::Rc;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Activation, Ctx, DataEmbedding, Mlp, Module};

@@ -1,7 +1,7 @@
 //! Prediction heads (paper Eq. 14–16): time-axis linear/MLP maps that
 //! turn length-`T` representations into length-`H` forecasts.
 
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Activation, Ctx, Linear, Mlp, Module};
 
@@ -121,7 +121,7 @@ impl Module for Autoregression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
     use ts3_tensor::Tensor;
 
     fn rng() -> StdRng {

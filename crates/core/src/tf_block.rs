@@ -6,7 +6,7 @@
 //! residual connection.
 
 use crate::ops::cwt_amplitude;
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use std::rc::Rc;
 use ts3_autograd::{Param, Var};
 use ts3_nn::{Ctx, InceptionBlock, Linear, Module};
@@ -129,7 +129,7 @@ pub fn branch_plans(t: usize, lambda: usize, kinds: &[WaveletKind]) -> Vec<Rc<Cw
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(21)

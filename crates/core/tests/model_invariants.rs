@@ -108,7 +108,7 @@ fn sgd_components_feed_distinct_heads() {
 fn tf_block_branches_use_distinct_wavelets() {
     use ts3net_core::branch_plans;
     let plans = branch_plans(48, 6, &[WaveletKind::ComplexGaussian, WaveletKind::ComplexGaussian1]);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let mut rng = <ts3_rng::rngs::StdRng as ts3_rng::SeedableRng>::seed_from_u64(0);
     let block = TfBlock::new("t", &plans, 4, 4, &mut rng);
     assert_eq!(block.num_branches(), 2);
     // Different plans produce different branch outputs even with shared

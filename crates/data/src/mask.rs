@@ -1,8 +1,8 @@
 //! Imputation masking (paper Table V): randomly hide a ratio of time
 //! points in length-96 windows; the model reconstructs them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ts3_rng::rngs::StdRng;
+use ts3_rng::{normal_f32, Rng, SeedableRng};
 use ts3_tensor::Tensor;
 
 /// A masked batch for the imputation task.
@@ -61,11 +61,7 @@ pub fn inject_noise(x: &Tensor, ratio: f32, seed: u64) -> Tensor {
         #[allow(clippy::needless_range_loop)] // paired (i, ch) indexing
         for ch in 0..c {
             if rng.gen::<f32>() < ratio {
-                let g: f32 = {
-                    let u1: f32 = rng.gen::<f32>().max(f32::MIN_POSITIVE);
-                    let u2: f32 = rng.gen();
-                    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
-                };
+                let g = normal_f32(&mut rng);
                 let v = out.at(&[i, ch]);
                 out.set(&[i, ch], v + g * std[ch]);
             }

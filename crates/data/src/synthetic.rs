@@ -15,8 +15,8 @@
 //! paper. See DESIGN.md §1 for why this substitution preserves the
 //! experiments' comparative structure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ts3_rng::rngs::StdRng;
+use ts3_rng::{normal_f32, Rng, SeedableRng};
 use ts3_tensor::Tensor;
 
 /// One periodic ingredient of a synthetic series.
@@ -157,7 +157,7 @@ impl SeriesSpec {
         if self.random_walk > 0.0 {
             let mut acc = 0.0f32;
             for dst in out.iter_mut() {
-                acc += gaussian(rng) * self.random_walk;
+                acc += normal_f32(rng) * self.random_walk;
                 *dst += acc;
             }
         }
@@ -165,7 +165,7 @@ impl SeriesSpec {
         // 5. White observation noise.
         if self.noise_std > 0.0 {
             for dst in out.iter_mut() {
-                *dst += gaussian(rng) * self.noise_std;
+                *dst += normal_f32(rng) * self.noise_std;
             }
         }
         // Per-channel offset so channels are distinguishable.
@@ -177,24 +177,12 @@ impl SeriesSpec {
     }
 }
 
-/// Simple Box–Muller standard normal.
-fn gaussian(rng: &mut StdRng) -> f32 {
-    loop {
-        let u1: f32 = rng.gen();
-        if u1 <= f32::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f32 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
-    }
-}
-
 /// Cheap Poisson-ish sampler (normal approximation, clamped).
 fn sample_poissonish(mean: f32, rng: &mut StdRng) -> usize {
     if mean <= 0.0 {
         return 0;
     }
-    let v = mean + gaussian(rng) * mean.sqrt();
+    let v = mean + normal_f32(rng) * mean.sqrt();
     v.round().max(0.0) as usize
 }
 

@@ -3,9 +3,9 @@
 //! protocol the paper adopts (lookback 96, horizons {96, 192, 336, 720}).
 
 use crate::scaler::StandardScaler;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::seq::SliceRandom;
+use ts3_rng::SeedableRng;
 use ts3_tensor::Tensor;
 
 /// Which split of a dataset to read.

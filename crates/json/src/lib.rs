@@ -1,0 +1,50 @@
+//! # ts3-json
+//!
+//! A deliberately small JSON library — one value type ([`Json`]), a
+//! writer, and a strict recursive-descent parser — replacing
+//! `serde`/`serde_json` so the workspace builds offline. It backs the
+//! two places this repository speaks JSON:
+//!
+//! * **checkpoints** (`ts3-nn`): model weights as
+//!   `{"params": {name: {"shape": [...], "data": [...]}}}`,
+//! * **results emission** (`ts3-bench`): result tables mirrored to
+//!   `results/<stem>.json` next to the canonical CSVs.
+//!
+//! ## Number round-trip policy
+//!
+//! Every numeric value in this workspace is an `f32`. [`Json::Num`]
+//! stores `f64`, and the writer picks the **shortest decimal that
+//! round-trips at `f32` precision** whenever the stored value is
+//! exactly an `f32` (e.g. `0.1` instead of `0.10000000149011612`).
+//! Consequence: parse → [`Json::as_f32`] returns bit-identical `f32`s
+//! for checkpoint data, while genuine `f64`s that are *not* exact
+//! `f32`s still print with full `f64` shortest-round-trip precision.
+//! The parser applies the inverse mapping — a token that is exactly the
+//! writer's rendering of an f32-promoted value parses back to that
+//! promotion — so `parse(write(doc)) == doc` holds for f32-sourced
+//! documents. Ambiguous tokens (`0.1` is both the shortest `f32` *and*
+//! shortest `f64` rendering) resolve in favour of the `f32` reading.
+//! Non-finite numbers serialise as `null` (as `serde_json` did).
+//!
+//! ## Example
+//!
+//! ```
+//! use ts3_json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("ts3")),
+//!     ("shape", Json::from_iter([2usize, 3])),
+//!     ("ok", Json::from(true)),
+//! ]);
+//! let text = doc.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("shape").unwrap().as_array().unwrap().len(), 2);
+//! assert_eq!(back, doc);
+//! ```
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::ParseError;
+pub use value::Json;

@@ -1,0 +1,159 @@
+//! Serialisation: compact and pretty writers.
+
+use crate::value::Json;
+use std::fmt;
+
+impl Json {
+    /// Compact serialisation (no whitespace).
+    #[allow(clippy::inherent_to_string_shadow_display)] // same output as Display
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Pretty serialisation: two-space indentation, one key or element
+    /// per line.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+/// Shortest decimal for `v` under the crate's f32 round-trip policy:
+/// exact-`f32` values print via `f32`'s shortest representation,
+/// non-finite values print as `null`.
+fn write_number(v: f64, out: &mut String) {
+    use fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if (v as f32) as f64 == v {
+        let _ = write!(out, "{}", v as f32);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+fn write_value(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            if !items.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth + 1, out);
+            }
+            if !pairs.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_shapes() {
+        let doc = Json::obj([
+            ("a", Json::from_iter([1.0f32, 2.5])),
+            ("s", Json::from("x\"y\n")),
+            ("z", Json::Null),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"a":[1,2.5],"s":"x\"y\n","z":null}"#);
+    }
+
+    #[test]
+    fn f32_values_print_shortest() {
+        // 0.1f32 as f64 is 0.10000000149011612; the writer must still
+        // print "0.1" because the value is an exact f32.
+        assert_eq!(Json::from(0.1f32).to_string(), "0.1");
+        assert_eq!(Json::from(1.0f32).to_string(), "1");
+        // A genuine f64 that is not an exact f32 keeps f64 precision.
+        assert_eq!(Json::from(0.1f64).to_string(), "0.1");
+        let fine = 1.0f64 + f64::EPSILON;
+        assert_eq!(Json::from(fine).to_string(), format!("{fine}"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::from(f32::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let expected = String::from_utf8(vec![34, 92, 117, 48, 48, 48, 49, 34]).unwrap();
+        assert_eq!(Json::from("\u{01}").to_string(), expected);
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let doc = Json::obj([("k", Json::from_iter([1.0f32]))]);
+        assert_eq!(doc.to_string_pretty(), "{\n  \"k\": [\n    1\n  ]\n}");
+        assert_eq!(Json::obj::<&str, 0>([]).to_string_pretty(), "{}");
+    }
+}

@@ -5,7 +5,7 @@
 use crate::layers::{Dropout, LayerNorm, Linear, Mlp};
 use crate::module::{Ctx, Module};
 use crate::Activation;
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use ts3_autograd::{Param, Var};
 use ts3_tensor::Tensor;
 
@@ -210,7 +210,7 @@ impl Module for EncoderLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)

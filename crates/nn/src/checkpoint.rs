@@ -1,16 +1,20 @@
 //! Parameter checkpointing: save/load the weights of any model that
 //! exposes its [`Param`] list (every `ForecastModel`/`ImputationModel` in
 //! this workspace) as a JSON file keyed by parameter name.
+//!
+//! The on-disk format is `{"params": {<name>: {"shape": [...],
+//! "data": [...]}}}`, written through [`ts3_json`] (values round-trip
+//! bit-exactly at f32 precision — see that crate's number policy).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use ts3_autograd::Param;
+use ts3_json::Json;
 use ts3_tensor::Tensor;
 
 /// Serialisable snapshot of one named tensor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TensorRecord {
     /// Row-major shape.
     pub shape: Vec<usize>,
@@ -19,7 +23,7 @@ pub struct TensorRecord {
 }
 
 /// A whole-model checkpoint: parameter name -> tensor.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Checkpoint {
     /// Named parameter snapshots (sorted for stable files).
     pub params: BTreeMap<String, TensorRecord>,
@@ -67,17 +71,68 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Lower to a [`Json`] document.
+    pub fn to_json(&self) -> Json {
+        let mut params = Json::Obj(Vec::with_capacity(self.params.len()));
+        for (name, rec) in &self.params {
+            params.insert(
+                name.clone(),
+                Json::obj([
+                    ("shape", Json::from_iter(rec.shape.iter().copied())),
+                    ("data", Json::from_iter(rec.data.iter().copied())),
+                ]),
+            );
+        }
+        Json::obj([("params", params)])
+    }
+
+    /// Reconstruct from a [`Json`] document, validating the schema.
+    pub fn from_json(doc: &Json) -> Result<Checkpoint, String> {
+        let entries = doc
+            .get("params")
+            .and_then(Json::as_object)
+            .ok_or("checkpoint: missing `params` object")?;
+        let mut params = BTreeMap::new();
+        for (name, rec) in entries {
+            let shape = rec
+                .get("shape")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("checkpoint `{name}`: missing `shape` array"))?
+                .iter()
+                .map(|v| v.as_usize())
+                .collect::<Option<Vec<usize>>>()
+                .ok_or_else(|| format!("checkpoint `{name}`: non-integer shape entry"))?;
+            let data = rec
+                .get("data")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("checkpoint `{name}`: missing `data` array"))?
+                .iter()
+                .map(|v| v.as_f32())
+                .collect::<Option<Vec<f32>>>()
+                .ok_or_else(|| format!("checkpoint `{name}`: non-numeric data entry"))?;
+            if shape.iter().product::<usize>() != data.len() {
+                return Err(format!(
+                    "checkpoint `{name}`: shape {:?} does not match {} values",
+                    shape,
+                    data.len()
+                ));
+            }
+            params.insert(name.clone(), TensorRecord { shape, data });
+        }
+        Ok(Checkpoint { params })
+    }
+
     /// Write to a JSON file.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().to_string())
     }
 
     /// Read from a JSON file.
     pub fn load(path: &Path) -> io::Result<Checkpoint> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Checkpoint::from_json(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
     /// Total scalar count in the checkpoint.
@@ -129,6 +184,37 @@ mod tests {
         loaded.restore(&ps).unwrap();
         assert_eq!(ps[1].value().as_slice(), &[3.0, 4.0, 5.0, 6.0]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_round_trip_preserves_awkward_f32s() {
+        let values = vec![0.1f32, -0.0, f32::MIN_POSITIVE, 1e-40, f32::MAX, 1.0 / 3.0];
+        let ps = vec![Param::new("w", Tensor::from_vec(values.clone(), &[6]))];
+        let snap = Checkpoint::capture(&ps);
+        let back = Checkpoint::from_json(&Json::parse(&snap.to_json().to_string()).unwrap())
+            .unwrap();
+        let got = &back.params["w"].data;
+        for (a, b) in values.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_malformed_files() {
+        let dir = std::env::temp_dir().join("ts3_ckpt_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (stem, text) in [
+            ("not_json", "]["),
+            ("wrong_schema", r#"{"weights": {}}"#),
+            ("shape_mismatch", r#"{"params": {"w": {"shape": [3], "data": [1, 2]}}}"#),
+            ("bad_shape", r#"{"params": {"w": {"shape": [1.5], "data": [1]}}}"#),
+        ] {
+            let path = dir.join(format!("{stem}.json"));
+            std::fs::write(&path, text).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{stem}");
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

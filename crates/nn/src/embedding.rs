@@ -4,7 +4,7 @@
 
 use crate::layers::{Dropout, Linear};
 use crate::module::{Ctx, Module};
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use ts3_autograd::{Param, Var};
 use ts3_tensor::Tensor;
 
@@ -60,7 +60,7 @@ impl Module for DataEmbedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
 
     #[test]
     fn sinusoidal_encoding_properties() {

@@ -4,7 +4,7 @@
 //! flow through ordinary matmuls — no complex-valued autograd needed.
 
 use crate::module::{Ctx, Module};
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use ts3_autograd::{Param, Var};
 use ts3_signal::fft::rfft;
 use ts3_tensor::Tensor;
@@ -184,7 +184,7 @@ impl Module for AutoCorrelationBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
 
     #[test]
     fn dft_matrices_match_rfft() {

@@ -5,7 +5,7 @@
 use crate::layers::Conv2d;
 use crate::module::{Ctx, Module};
 use crate::Activation;
-use rand::rngs::StdRng;
+use ts3_rng::rngs::StdRng;
 use ts3_autograd::{Param, Var};
 
 /// Parallel same-padded 2-D convolutions with kernel sizes `{1, 3, 5}`
@@ -65,7 +65,7 @@ impl Module for InceptionBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
     use ts3_tensor::Tensor;
 
     #[test]

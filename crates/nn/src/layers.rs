@@ -2,8 +2,8 @@
 //! and MLP.
 
 use crate::module::{Ctx, Module};
-use rand::rngs::StdRng;
-use rand::Rng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::Rng;
 use ts3_autograd::{Param, Var};
 use ts3_tensor::Tensor;
 
@@ -280,7 +280,7 @@ impl Module for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ts3_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -1,7 +1,7 @@
 //! The [`Module`] trait and the forward-pass context.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ts3_rng::rngs::StdRng;
+use ts3_rng::SeedableRng;
 use ts3_autograd::{Param, Var};
 
 /// Per-forward-pass context: training/eval mode and the RNG driving

@@ -1,0 +1,45 @@
+//! Standard-normal sampling via the Box–Muller transform.
+
+use crate::traits::{RngCore, StandardSample};
+
+/// One standard-normal (`N(0, 1)`) deviate.
+///
+/// Box–Muller on two uniform draws, keeping only the cosine branch: two
+/// `u32` stream values are consumed per call (the rejection of `u1 == 0`
+/// re-draws, which happens with probability `2^-24`). Deterministic per
+/// stream; shared by tensor initialisers, synthetic-data generators and
+/// noise injection so they all agree on one normal sampler.
+pub fn normal_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = f32::sample_standard(rng);
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = f32::sample_standard(rng);
+        return (-2.0 * u1.ln()).sqrt() * (core::f32::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| normal_f32(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn all_values_finite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!((0..10_000).all(|_| normal_f32(&mut rng).is_finite()));
+    }
+}

@@ -1,0 +1,262 @@
+//! The rand-shaped trait facade: [`RngCore`] (raw `u64` stream),
+//! [`SeedableRng`] (explicit-seed construction), and [`Rng`] (typed
+//! sampling: `gen`, `gen_range`, `gen_bool`), plus the two sampling
+//! traits they dispatch through.
+
+use core::ops::Range;
+
+/// A source of raw 64-bit randomness. Everything else derives from this.
+pub trait RngCore {
+    /// Next value of the underlying `u64` stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 bits, taken from the **high** half of `next_u64` (the
+    /// high bits of xoshiro256++ output have the best equidistribution).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from an explicit `u64` seed — the only seeding path in
+/// this workspace (no OS entropy, see crate docs).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable "from the standard distribution" (`rng.gen::<T>()`):
+/// uniform `[0, 1)` for floats, full-range uniform for integers, fair
+/// coin for `bool`.
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`'s stream.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    /// Uniform `[0, 1)` with 24 bits of precision (`n / 2^24`), so every
+    /// representable output is an exact multiple of `2^-24` and `1.0` is
+    /// never returned.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform `[0, 1)` with 53 bits of precision (`n / 2^53`).
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    /// Fair coin from the top bit of the stream.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Types usable with `rng.gen_range(lo..hi)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Largest float strictly below finite `hi` (used to keep float ranges
+/// half-open when `lo + u * (hi - lo)` rounds up to `hi`).
+fn next_down_f32(hi: f32) -> f32 {
+    if hi == 0.0 {
+        -f32::from_bits(1)
+    } else if hi > 0.0 {
+        f32::from_bits(hi.to_bits() - 1)
+    } else {
+        f32::from_bits(hi.to_bits() + 1)
+    }
+}
+
+fn next_down_f64(hi: f64) -> f64 {
+    if hi == 0.0 {
+        -f64::from_bits(1)
+    } else if hi > 0.0 {
+        f64::from_bits(hi.to_bits() - 1)
+    } else {
+        f64::from_bits(hi.to_bits() + 1)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        let u = f32::sample_standard(rng);
+        let v = lo + u * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            next_down_f32(hi)
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let u = f64::sample_standard(rng);
+        let v = lo + u * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            next_down_f64(hi)
+        }
+    }
+}
+
+/// Unbiased uniform draw from `[0, n)` by rejection: accept `x` only
+/// below the largest multiple of `n` representable in 64 bits, then
+/// reduce. Rejection probability is `< 2^-32` for any `n < 2^32`.
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    // zone + 1 is the largest multiple of n that fits in 2^64.
+    let zone = u64::MAX - (u64::MAX % n + 1) % n;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    // `$u` is the same-width unsigned type: the span `hi - lo` must wrap
+    // through it so signed ranges spanning zero don't sign-extend.
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize => usize, u64 => u64, u32 => u32, i64 => u64, i32 => u32);
+
+/// Typed sampling sugar over any [`RngCore`], mirroring `rand::Rng`.
+///
+/// Blanket-implemented for every generator, so `use ts3_rng::Rng;`
+/// brings `gen` / `gen_range` / `gen_bool` into scope exactly like the
+/// `rand` prelude did.
+pub trait Rng: RngCore {
+    /// Standard-distribution draw: `[0, 1)` floats, full-range ints,
+    /// fair-coin bools.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range: empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn f32_standard_is_half_open_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5f32..7.5);
+            assert!((-2.5..7.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [0usize; 7];
+        for _ in 0..7_000 {
+            seen[rng.gen_range(0usize..7)] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "value {i} drawn only {c} times");
+        }
+    }
+
+    #[test]
+    fn negative_int_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..-2);
+            assert!((-5..-2).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(3usize..3);
+    }
+}

@@ -1,0 +1,103 @@
+//! xoshiro256++: the workhorse generator.
+//!
+//! Blackman & Vigna's xoshiro256++ — 256 bits of state, period
+//! `2^256 - 1`, all-purpose output scrambling via `rotl(s0 + s3, 23) +
+//! s0`. Seeded exclusively through SplitMix64 expansion of a `u64`
+//! (see the crate docs for the seeding discipline).
+
+use crate::splitmix64::SplitMix64;
+use crate::traits::{RngCore, SeedableRng};
+
+/// xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Construct from a raw 256-bit state.
+    ///
+    /// # Panics
+    /// Panics if the state is all zeros (the one fixed point of the
+    /// transition function — the generator would emit zeros forever).
+    pub fn from_state(s: [u64; 4]) -> Xoshiro256PlusPlus {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    /// Expand `seed` into the 256-bit state with four SplitMix64 draws,
+    /// the initialisation recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Xoshiro256PlusPlus {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus::from_state([
+            sm.next_u64(),
+            sm.next_u64(),
+            sm.next_u64(),
+            sm.next_u64(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_seed_zero() {
+        // Stream pinned against an independent implementation of the
+        // published xoshiro256plusplus.c seeded via splitmix64.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        let want = [
+            0x5317_5D61_490B_23DF_u64,
+            0x61DA_6F3D_C380_D507,
+            0x5C0F_DF91_EC9A_7BFC,
+            0x02EE_BF8C_3BBE_5E1A,
+            0x7ECA_04EB_AF4A_5EEA,
+        ];
+        for w in want {
+            assert_eq!(rng.next_u64(), w);
+        }
+    }
+
+    #[test]
+    fn known_answer_seed_42() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+        let want = [
+            0xD076_4D4F_4476_689F_u64,
+            0x519E_4174_576F_3791,
+            0xFBE0_7CFB_0C24_ED8C,
+            0xB37D_9F60_0CD8_35B8,
+            0xCB23_1C38_7484_6A73,
+        ];
+        for w in want {
+            assert_eq!(rng.next_u64(), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+}

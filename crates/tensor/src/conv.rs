@@ -95,6 +95,11 @@ pub fn col2im(
 /// * `input`:  `[B, C_in, H, W]`
 /// * `weight`: `[C_out, C_in, KH, KW]`
 /// * returns `[B, C_out, OH, OW]` with `OH = H + 2*ph + 1 - KH`.
+///
+/// Batch entries are independent (`im2col` + matmul per sample), so
+/// they are partitioned across threads via [`crate::par`]; each sample
+/// is computed by the identical serial kernel, keeping the result
+/// bit-identical to a serial run.
 pub fn conv2d(input: &Tensor, weight: &Tensor, ph: usize, pw: usize) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be [B,C,H,W]");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [Co,Ci,KH,KW]");
@@ -115,14 +120,25 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, ph: usize, pw: usize) -> Tensor {
     let oh = h + 2 * ph + 1 - kh;
     let ow = w + 2 * pw + 1 - kw;
     let wmat = weight.reshape(&[cout, cin * kh * kw]);
-    let mut out = Tensor::zeros(&[b, cout, oh, ow]);
-    for bi in 0..b {
-        let x = input.index_axis(0, bi);
-        let cols = im2col(&x, kh, kw, ph, pw);
-        let y = wmat.matmul(&cols); // [cout, oh*ow]
-        out.assign_narrow(0, bi, &y.reshape(&[1, cout, oh, ow]));
+    let sample = cout * oh * ow;
+    let mut out = vec![0.0f32; b * sample];
+    if sample > 0 {
+        crate::par::par_rows_mut(&mut out, sample, 1, |b0, block| {
+            for (i, ob) in block.chunks_mut(sample).enumerate() {
+                let x = input.index_axis(0, b0 + i);
+                let cols = im2col(&x, kh, kw, ph, pw);
+                crate::linalg::matmul_block(
+                    wmat.as_slice(),
+                    cols.as_slice(),
+                    ob,
+                    cout,
+                    cin * kh * kw,
+                    oh * ow,
+                );
+            }
+        });
     }
-    out
+    Tensor::from_vec(out, &[b, cout, oh, ow])
 }
 
 /// 1-D convolution (cross-correlation), stride 1.
@@ -327,6 +343,62 @@ mod tests {
         let y = avg_pool_axis(&x, 0, 2);
         assert_eq!(y.shape(), &[3, 1]);
         assert_eq!(y.as_slice(), &[0.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_parallel_bit_identical_to_serial() {
+        // The batch loop is partitioned by `par`; recompute each sample
+        // with the single-sample (hence single-block) path and demand
+        // bit equality for every forced thread count.
+        let (b, cin, h, w, cout, kh, kw, ph, pw) = (5, 3, 6, 7, 4, 3, 3, 1, 1);
+        let x = Tensor::from_vec(
+            (0..b * cin * h * w).map(|v| ((v * 13 + 1) as f32 * 0.173).sin()).collect(),
+            &[b, cin, h, w],
+        );
+        let wt = Tensor::from_vec(
+            (0..cout * cin * kh * kw).map(|v| ((v * 7 + 5) as f32 * 0.291).cos()).collect(),
+            &[cout, cin, kh, kw],
+        );
+        let batched = conv2d(&x, &wt, ph, pw);
+        let mut serial = vec![0.0f32; batched.numel()];
+        let sample = batched.numel() / b;
+        let wmat = wt.reshape(&[cout, cin * kh * kw]);
+        for bi in 0..b {
+            let cols = im2col(&x.index_axis(0, bi), kh, kw, ph, pw);
+            crate::linalg::matmul_block(
+                wmat.as_slice(),
+                cols.as_slice(),
+                &mut serial[bi * sample..(bi + 1) * sample],
+                cout,
+                cin * kh * kw,
+                (h + 2 * ph + 1 - kh) * (w + 2 * pw + 1 - kw),
+            );
+        }
+        for threads in [1, 2, 3, 5, 8] {
+            let mut par = vec![0.0f32; b * sample];
+            crate::par::par_rows_mut_in(threads, &mut par, sample, &|b0, block| {
+                for (i, ob) in block.chunks_mut(sample).enumerate() {
+                    let cols = im2col(&x.index_axis(0, b0 + i), kh, kw, ph, pw);
+                    crate::linalg::matmul_block(
+                        wmat.as_slice(),
+                        cols.as_slice(),
+                        ob,
+                        cout,
+                        cin * kh * kw,
+                        (h + 2 * ph + 1 - kh) * (w + 2 * pw + 1 - kw),
+                    );
+                }
+            });
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            batched.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

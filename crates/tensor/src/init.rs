@@ -2,27 +2,14 @@
 
 use crate::shape::numel;
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Draw from a standard normal via Box–Muller (avoids pulling in
-/// `rand_distr`; two uniforms per pair of normals).
-fn sample_normal(rng: &mut StdRng) -> f32 {
-    loop {
-        let u1: f32 = rng.gen::<f32>();
-        if u1 <= f32::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f32 = rng.gen::<f32>();
-        let r = (-2.0 * u1.ln()).sqrt();
-        return r * (2.0 * std::f32::consts::PI * u2).cos();
-    }
-}
+use ts3_rng::rngs::StdRng;
+use ts3_rng::{normal_f32, Rng, SeedableRng};
 
 impl Tensor {
-    /// Standard-normal tensor from a caller-provided RNG.
+    /// Standard-normal tensor from a caller-provided RNG (Box–Muller
+    /// via [`ts3_rng::normal_f32`], the workspace's one normal sampler).
     pub fn randn_with(shape: &[usize], rng: &mut StdRng) -> Tensor {
-        let data = (0..numel(shape)).map(|_| sample_normal(rng)).collect();
+        let data = (0..numel(shape)).map(|_| normal_f32(rng)).collect();
         Tensor { data, shape: shape.to_vec() }
     }
 

@@ -38,6 +38,7 @@ mod error;
 mod init;
 mod linalg;
 mod manip;
+pub mod par;
 mod reduce;
 pub mod shape;
 mod tensor;

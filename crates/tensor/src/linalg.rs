@@ -4,14 +4,23 @@
 //! The matmul kernel is a cache-friendly `i-k-j` loop: for each output row
 //! it streams across the shared dimension and accumulates scaled rows of
 //! `rhs`, which keeps the innermost loop a contiguous fused multiply-add
-//! that LLVM auto-vectorises.
+//! that LLVM auto-vectorises. Large products additionally split their
+//! output rows (2-D / shared-rhs) or batch entries (fully batched)
+//! across threads via [`crate::par`]; because every row is computed by
+//! the identical serial kernel, parallel results are bit-identical to
+//! serial ones.
 
 use crate::shape::strides_for;
 use crate::{Result, Tensor, TensorError};
 
+/// Below roughly this many multiply-adds per output block, thread spawn
+/// overhead beats the parallel win and the kernels stay serial.
+const PAR_GRAIN_FLOPS: usize = 1 << 15;
+
 /// Multiply an `m x k` row-major block by a `k x n` block into `out`
-/// (`m x n`, pre-zeroed by the caller).
-fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// (`m x n`, pre-zeroed by the caller). Serial reference kernel; also
+/// the per-block worker of the parallel path.
+pub(crate) fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let out_row = &mut out[i * n..(i + 1) * n];
         for p in 0..k {
@@ -25,6 +34,21 @@ fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n
             }
         }
     }
+}
+
+/// [`matmul_block`] with the output rows split across threads. Row `i`
+/// of `out` is produced by the same serial kernel either way, so the
+/// result is bit-identical to the serial call for any thread count.
+pub(crate) fn matmul_block_par(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Enough rows per thread that each block does ~PAR_GRAIN_FLOPS work.
+    let grain = (PAR_GRAIN_FLOPS / (k * n).max(1)).max(1);
+    crate::par::par_rows_mut(out, n, grain, |row0, block| {
+        let rows = block.len() / n;
+        matmul_block(&lhs[row0 * k..(row0 + rows) * k], rhs, block, rows, k, n);
+    });
 }
 
 impl Tensor {
@@ -47,7 +71,7 @@ impl Tensor {
                     });
                 }
                 let mut out = vec![0.0f32; m * n];
-                matmul_block(&self.data, &rhs.data, &mut out, m, k, n);
+                matmul_block_par(&self.data, &rhs.data, &mut out, m, k, n);
                 Ok(Tensor { data: out, shape: vec![m, n] })
             }
             (3, 2) => {
@@ -60,17 +84,10 @@ impl Tensor {
                         op: "matmul",
                     });
                 }
+                // Shared rhs: `[b,m,k] @ [k,n]` is exactly the 2-D product
+                // `[b*m,k] @ [k,n]`, so the row-parallel kernel covers it.
                 let mut out = vec![0.0f32; b * m * n];
-                for bi in 0..b {
-                    matmul_block(
-                        &self.data[bi * m * k..(bi + 1) * m * k],
-                        &rhs.data,
-                        &mut out[bi * m * n..(bi + 1) * m * n],
-                        m,
-                        k,
-                        n,
-                    );
-                }
+                matmul_block_par(&self.data, &rhs.data, &mut out, b * m, k, n);
                 Ok(Tensor { data: out, shape: vec![b, m, n] })
             }
             (3, 3) => {
@@ -84,15 +101,25 @@ impl Tensor {
                     });
                 }
                 let mut out = vec![0.0f32; b * m * n];
-                for bi in 0..b {
-                    matmul_block(
-                        &self.data[bi * m * k..(bi + 1) * m * k],
-                        &rhs.data[bi * k * n..(bi + 1) * k * n],
-                        &mut out[bi * m * n..(bi + 1) * m * n],
-                        m,
-                        k,
-                        n,
-                    );
+                let sample = m * n;
+                if sample > 0 {
+                    // Batch entries are independent: partition them as
+                    // "rows" of width m*n and run the serial kernel per
+                    // batch inside each block.
+                    let grain = (PAR_GRAIN_FLOPS / (sample * k).max(1)).max(1);
+                    crate::par::par_rows_mut(&mut out, sample, grain, |b0, block| {
+                        for (i, ob) in block.chunks_mut(sample).enumerate() {
+                            let bi = b0 + i;
+                            matmul_block(
+                                &self.data[bi * m * k..(bi + 1) * m * k],
+                                &rhs.data[bi * k * n..(bi + 1) * k * n],
+                                ob,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    });
                 }
                 Ok(Tensor { data: out, shape: vec![b, m, n] })
             }
@@ -311,6 +338,60 @@ mod tests {
         let o = a.outer(&b);
         assert_eq!(o.shape(), &[3, 3]);
         assert_eq!(o.at(&[2, 0]), 12.0);
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial() {
+        // White-box: run the serial reference kernel, then the same
+        // worker forced across several thread counts, and require
+        // bit-for-bit equality (not allclose).
+        let (m, k, n) = (37, 29, 41);
+        let a = Tensor::randn(&[m, k], 1);
+        let b = Tensor::randn(&[k, n], 2);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_block(a.as_slice(), b.as_slice(), &mut serial, m, k, n);
+        for threads in [2, 3, 7, 16] {
+            let mut par = vec![0.0f32; m * n];
+            crate::par::par_rows_mut_in(threads, &mut par, n, &|row0, block| {
+                let rows = block.len() / n;
+                matmul_block(&a.as_slice()[row0 * k..(row0 + rows) * k], b.as_slice(), block, rows, k, n);
+            });
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+        // And the public entry point agrees with the serial kernel.
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &serial[..]);
+    }
+
+    #[test]
+    fn parallel_batched_matmul_bit_identical_to_serial() {
+        let (b, m, k, n) = (6, 19, 13, 17);
+        let x = Tensor::randn(&[b, m, k], 3);
+        let w = Tensor::randn(&[b, k, n], 4);
+        let mut serial = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            matmul_block(
+                &x.as_slice()[bi * m * k..(bi + 1) * m * k],
+                &w.as_slice()[bi * k * n..(bi + 1) * k * n],
+                &mut serial[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let got = x.matmul(&w);
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Shared-rhs flattening: [b,m,k] @ [k,n] == reshape([b*m,k]) @ [k,n].
+        let w2 = Tensor::randn(&[k, n], 5);
+        let flat = x.reshape(&[b * m, k]).matmul(&w2);
+        assert_eq!(x.matmul(&w2).as_slice(), flat.as_slice());
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Deterministic scoped-thread parallel-for over row blocks.
+//!
+//! This module is the workspace's entire threading substrate (it fills
+//! the role `rayon`/`crossbeam` would have played): a single primitive,
+//! [`par_rows_mut`], that splits a flat output buffer into contiguous
+//! blocks of whole rows and runs a worker on each block inside
+//! [`std::thread::scope`].
+//!
+//! ## Partitioning scheme
+//!
+//! The buffer's `rows = out.len() / row_width` rows are split into `t`
+//! contiguous blocks, where `t = min(max_threads(), rows / grain)` —
+//! `grain` is the minimum number of rows worth a thread. Block sizes
+//! are `ceil`/`floor` balanced (`rows % t` leading blocks get one extra
+//! row), so the partition is a pure function of `(rows, t)`: no work
+//! stealing, no scheduler state, no run-to-run variation.
+//!
+//! ## When results are bit-identical to serial
+//!
+//! Each worker receives a *disjoint* `&mut` block and the row offset it
+//! starts at, and workers never share accumulators. As long as the
+//! worker computes each row the same way the serial loop would (true
+//! for every use in this crate: matmul row kernels and per-sample
+//! convolution), the bytes written are **identical to a serial run for
+//! every thread count** — parallelism only changes which thread writes
+//! them. That makes `TS3_THREADS=1` vs `TS3_THREADS=8` runs, and runs
+//! on different machines, bit-for-bit reproducible.
+//!
+//! ## Thread-count policy
+//!
+//! [`max_threads`] reads `TS3_THREADS` (clamped to [1, 256]) or falls
+//! back to [`std::thread::available_parallelism`], caching the answer
+//! for the process lifetime. Blocks run on freshly scoped threads; at
+//! the tensor sizes of this workspace spawn cost is ~10 µs against
+//! multi-millisecond kernels, and the last block runs on the calling
+//! thread so the single-thread path never spawns at all.
+
+use std::sync::OnceLock;
+
+/// Process-wide worker-count cap (see module docs for the policy).
+pub fn max_threads() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        if let Ok(v) = std::env::var("TS3_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 256);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Split `out` into contiguous blocks of whole `row_width`-sized rows
+/// and run `worker(first_row, block)` on each block, in parallel.
+///
+/// `grain` is the minimum number of rows that justifies one thread;
+/// the thread count never exceeds [`max_threads`]. Results are
+/// bit-identical to `worker(0, out)` whenever the worker is row-wise
+/// (see module docs).
+///
+/// # Panics
+/// Panics if `row_width == 0` or `out.len()` is not a multiple of
+/// `row_width`. Worker panics propagate to the caller.
+pub fn par_rows_mut<F>(out: &mut [f32], row_width: usize, grain: usize, worker: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "par_rows_mut: row_width must be positive");
+    assert_eq!(out.len() % row_width, 0, "par_rows_mut: ragged buffer");
+    let rows = out.len() / row_width;
+    let threads = max_threads().min(rows / grain.max(1)).max(1);
+    par_rows_mut_in(threads, out, row_width, &worker);
+}
+
+/// [`par_rows_mut`] with an explicit thread count — the deterministic
+/// core, exposed so tests can force multi-threaded execution on any
+/// machine. `threads` is clamped to `[1, rows]`.
+pub fn par_rows_mut_in<F>(threads: usize, out: &mut [f32], row_width: usize, worker: &F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "par_rows_mut_in: row_width must be positive");
+    assert_eq!(out.len() % row_width, 0, "par_rows_mut_in: ragged buffer");
+    let rows = out.len() / row_width;
+    if rows == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, rows);
+    if threads <= 1 {
+        worker(0, out);
+        return;
+    }
+    let base = rows / threads;
+    let extra = rows % threads;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut first_row = 0usize;
+        for t in 0..threads {
+            let block_rows = base + usize::from(t < extra);
+            let (block, tail) = rest.split_at_mut(block_rows * row_width);
+            rest = tail;
+            let row0 = first_row;
+            if t + 1 == threads {
+                // Run the final block on the calling thread.
+                worker(row0, block);
+            } else {
+                scope.spawn(move || worker(row0, block));
+            }
+            first_row += block_rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A row-wise worker with data-dependent, order-sensitive values.
+    fn fill(first_row: usize, block: &mut [f32], width: usize) {
+        for (r, row) in block.chunks_mut(width).enumerate() {
+            let gr = first_row + r;
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = ((gr * 31 + c) as f32 * 0.37).sin() * (gr as f32 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_thread_counts_match_serial_bitwise() {
+        let width = 7;
+        let rows = 23;
+        let mut serial = vec![0.0f32; rows * width];
+        fill(0, &mut serial, width);
+        for threads in [1, 2, 3, 4, 8, 23, 64] {
+            let mut par = vec![0.0f32; rows * width];
+            par_rows_mut_in(threads, &mut par, width, &|r0, block| fill(r0, block, width));
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        let width = 3;
+        let rows = 17;
+        let mut out = vec![0.0f32; rows * width];
+        par_rows_mut_in(5, &mut out, width, &|_, block| {
+            for v in block.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn auto_grain_runs_serial_for_tiny_work() {
+        // 4 rows with grain 8 must not panic and must fill everything.
+        let mut out = vec![0.0f32; 4 * 2];
+        par_rows_mut(&mut out, 2, 8, |r0, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (r0 * 2 + i) as f32;
+            }
+        });
+        assert_eq!(out, (0..8).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_buffer_is_a_no_op() {
+        let mut out: Vec<f32> = vec![];
+        par_rows_mut(&mut out, 4, 1, |_, _| panic!("no rows, no calls"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_buffer_panics() {
+        let mut out = vec![0.0f32; 5];
+        par_rows_mut(&mut out, 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn max_threads_is_positive_and_stable() {
+        let a = max_threads();
+        assert!(a >= 1);
+        assert_eq!(a, max_threads());
+    }
+}

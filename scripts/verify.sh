@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the TS3Net reproduction workspace.
+#
+# Everything runs --offline: this workspace has no external dependencies
+# (see DESIGN.md §5), so a clean checkout must pass with no network and
+# no registry cache. Referenced from README.md and the repo verify skill.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 release build (offline) =="
+cargo build --release --workspace --offline
+
+echo "== 2/4 test suite =="
+cargo test -q --workspace --offline
+
+echo "== 3/4 rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
+echo "== 4/4 dependency hermeticity =="
+if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
+    | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' | grep -v '^ts3' ; then
+  echo "FAIL: non-workspace crate in the dependency tree" >&2
+  exit 1
+fi
+echo "ok: dependency tree is ts3-* only"
+
+echo "verify: all gates passed"

@@ -38,7 +38,7 @@ fn end_to_end_training_reduces_test_error() {
     };
     let before = eval(&model);
     let mut opt = Adam::new(model.parameters(), 5e-3);
-    for step in 0..12 {
+    for step in 0..30 {
         let batches = task.epoch_batches(Split::Train, 4, step, Some(1));
         let (x, y) = task.batch(Split::Train, &batches[0]);
         let loss = model.forecast(&x, &mut ctx).mse_loss(&y);

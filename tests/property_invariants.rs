@@ -1,64 +1,96 @@
-//! Workspace-level property-based tests (proptest) pinning the core
-//! mathematical invariants the reproduction relies on.
+//! Workspace-level property tests pinning the core mathematical
+//! invariants the reproduction relies on.
+//!
+//! Each test sweeps `CASES` deterministically seeded random inputs from
+//! [`ts3_rng`] (one seed per case, derived from a per-test base seed),
+//! replacing the former proptest suite so the workspace needs no
+//! external crates. Failures print the offending case seed; re-running
+//! is exactly reproducible.
 
-use proptest::prelude::*;
 use ts3_autograd::{gradcheck_var, Var};
 use ts3_data::{mask_batch, StandardScaler};
+use ts3_rng::rngs::StdRng;
+use ts3_rng::{Rng, SeedableRng};
 use ts3_signal::complex::Complex32;
 use ts3_signal::fft::{dft_naive, fft, ifft};
 use ts3_signal::{spectrum_gradient, triple_decompose, TripleConfig};
 use ts3_tensor::Tensor;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+const CASES: u64 = 16;
 
-    #[test]
-    fn fft_round_trip(values in prop::collection::vec(-10.0f32..10.0, 4..64)) {
+/// One seeded RNG per case: `base` identifies the test, `case` the sweep
+/// index, so cases are independent and individually reproducible.
+fn case_rng(base: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(base ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+fn vec_in(rng: &mut StdRng, lo: f32, hi: f32, len_lo: usize, len_hi: usize) -> Vec<f32> {
+    let n = rng.gen_range(len_lo..len_hi);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn fft_round_trip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F71, case);
+        let values = vec_in(&mut rng, -10.0, 10.0, 4, 64);
         let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
         let y = ifft(&fft(&x));
         for (a, b) in x.iter().zip(&y) {
-            prop_assert!((a.re - b.re).abs() < 1e-2);
-            prop_assert!(b.im.abs() < 1e-2);
+            assert!((a.re - b.re).abs() < 1e-2, "case {case}");
+            assert!(b.im.abs() < 1e-2, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn fft_matches_naive_dft(values in prop::collection::vec(-5.0f32..5.0, 3..33)) {
+#[test]
+fn fft_matches_naive_dft() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F72, case);
+        let values = vec_in(&mut rng, -5.0, 5.0, 3, 33);
         let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
         let fast = fft(&x);
         let slow = dft_naive(&x);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((a.re - b.re).abs() < 1e-2, "{a:?} vs {b:?}");
-            prop_assert!((a.im - b.im).abs() < 1e-2);
+            assert!((a.re - b.re).abs() < 1e-2, "case {case}: {a:?} vs {b:?}");
+            assert!((a.im - b.im).abs() < 1e-2, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn parseval_holds(values in prop::collection::vec(-5.0f32..5.0, 8..40)) {
+#[test]
+fn parseval_holds() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F73, case);
+        let values = vec_in(&mut rng, -5.0, 5.0, 8, 40);
         let n = values.len() as f32;
         let x: Vec<Complex32> = values.iter().map(|&v| Complex32::from_real(v)).collect();
         let time: f32 = values.iter().map(|v| v * v).sum();
         let freq: f32 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f32>() / n;
-        prop_assert!((time - freq).abs() < 1e-2 * time.max(1.0));
+        assert!((time - freq).abs() < 1e-2 * time.max(1.0), "case {case}");
     }
+}
 
-    #[test]
-    fn triple_decomposition_reconstructs(
-        seedlike in prop::collection::vec(-2.0f32..2.0, 48..96),
-    ) {
+#[test]
+fn triple_decomposition_reconstructs() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F74, case);
+        let seedlike = vec_in(&mut rng, -2.0, 2.0, 48, 96);
         let t = seedlike.len();
         let x = Tensor::from_vec(seedlike, &[t, 1]);
         let cfg = TripleConfig { lambda: 4, ..Default::default() };
         let d = triple_decompose(&x, &cfg);
         // Eq. 1 + Eq. 10 are exact splits: trend + regular + fluctuant = x.
-        prop_assert!(d.reconstruct().allclose(&x, 1e-3));
+        assert!(d.reconstruct().allclose(&x, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn spectrum_gradient_inverts_by_prefix_sum(
-        grid in prop::collection::vec(-3.0f32..3.0, 24..48),
-        t_f in 2usize..8,
-    ) {
+#[test]
+fn spectrum_gradient_inverts_by_prefix_sum() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F75, case);
+        let grid = vec_in(&mut rng, -3.0, 3.0, 24, 48);
+        let t_f = rng.gen_range(2usize..8);
         // Delta[t] = TF[t] - TF[t - t_f]; summing Delta over the chunk
         // chain recovers TF exactly.
         let t = grid.len();
@@ -70,39 +102,52 @@ proptest! {
             let mut idx = start;
             loop {
                 acc += g.at(&[0, idx]);
-                if idx < t_f { break; }
+                if idx < t_f {
+                    break;
+                }
                 idx -= t_f;
             }
-            prop_assert!((acc - grid[start]).abs() < 1e-3);
+            assert!((acc - grid[start]).abs() < 1e-3, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scaler_round_trip(values in prop::collection::vec(-100.0f32..100.0, 10..60)) {
+#[test]
+fn scaler_round_trip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F76, case);
+        let values = vec_in(&mut rng, -100.0, 100.0, 10, 60);
         let n = values.len();
         let x = Tensor::from_vec(values, &[n, 1]);
         let s = StandardScaler::fit(&x);
         let back = s.inverse_transform(&s.transform(&x));
-        prop_assert!(back.allclose(&x, 1e-2));
+        assert!(back.allclose(&x, 1e-2), "case {case}");
     }
+}
 
-    #[test]
-    fn mask_ratio_and_disjointness(ratio in 0.05f32..0.6, seed in 0u64..1000) {
+#[test]
+fn mask_ratio_and_disjointness() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F77, case);
+        let ratio = rng.gen_range(0.05f32..0.6);
+        let seed = rng.gen_range(0u64..1000);
         let x = Tensor::ones(&[2, 96, 4]);
         let mb = mask_batch(&x, ratio, seed);
         let measured = mb.mask.sum() / mb.mask.numel() as f32;
-        prop_assert!((measured - ratio).abs() < 0.1);
+        assert!((measured - ratio).abs() < 0.1, "case {case}");
         // masked * mask == 0 everywhere (hidden points really hidden).
         for (m, v) in mb.mask.as_slice().iter().zip(mb.masked.as_slice()) {
-            prop_assert!(m * v == 0.0);
+            assert!(m * v == 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gradcheck_random_two_layer_net(
-        input in prop::collection::vec(-1.0f32..1.0, 6),
-        wseed in 0u64..100,
-    ) {
+#[test]
+fn gradcheck_random_two_layer_net() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F78, case);
+        let input: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let wseed = rng.gen_range(0u64..100);
         let x = Tensor::from_vec(input, &[2, 3]);
         let report = gradcheck_var(
             |v| {
@@ -113,30 +158,37 @@ proptest! {
             &x,
             1e-2,
         );
-        prop_assert!(report.max_rel_err < 0.08, "rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 0.08,
+            "case {case}: rel err {}",
+            report.max_rel_err
+        );
     }
+}
 
-    #[test]
-    fn tensor_broadcast_add_commutes(
-        a in prop::collection::vec(-5.0f32..5.0, 6),
-        b in prop::collection::vec(-5.0f32..5.0, 3),
-    ) {
+#[test]
+fn tensor_broadcast_add_commutes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F79, case);
+        let a: Vec<f32> = (0..6).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let b: Vec<f32> = (0..3).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
         let ta = Tensor::from_vec(a, &[2, 3]);
         let tb = Tensor::from_vec(b, &[3]);
-        prop_assert!(ta.add(&tb).allclose(&tb.add(&ta), 1e-6));
+        assert!(ta.add(&tb).allclose(&tb.add(&ta), 1e-6), "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in prop::collection::vec(-2.0f32..2.0, 4),
-        b in prop::collection::vec(-2.0f32..2.0, 4),
-        c in prop::collection::vec(-2.0f32..2.0, 4),
-    ) {
-        let ta = Tensor::from_vec(a, &[2, 2]);
-        let tb = Tensor::from_vec(b, &[2, 2]);
-        let tc = Tensor::from_vec(c, &[2, 2]);
+#[test]
+fn matmul_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0F7A, case);
+        let mut mat = || -> Tensor {
+            let v: Vec<f32> = (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            Tensor::from_vec(v, &[2, 2])
+        };
+        let (ta, tb, tc) = (mat(), mat(), mat());
         let lhs = ta.matmul(&tb.add(&tc));
         let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        assert!(lhs.allclose(&rhs, 1e-3), "case {case}");
     }
 }
