@@ -76,5 +76,12 @@ fn main() {
     bench_matmul(&mut h);
     bench_conv2d(&mut h);
     bench_decomposition(&mut h);
+    // Machine-readable mirror at the workspace root (op, shape, median
+    // ns + IQR, thread cap) for regression tracking across commits.
+    let path = ts3_bench::workspace_root().join("BENCH_kernels.json");
+    match h.write_json(&path) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("BENCH_kernels.json write failed: {e}"),
+    }
     h.finish();
 }

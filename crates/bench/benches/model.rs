@@ -62,5 +62,10 @@ fn main() {
     let mut h = Harness::new();
     bench_models(&mut h);
     bench_triple_decomposition(&mut h);
+    let path = ts3_bench::workspace_root().join("BENCH_model.json");
+    match h.write_json(&path) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("BENCH_model.json write failed: {e}"),
+    }
     h.finish();
 }

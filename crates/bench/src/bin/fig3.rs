@@ -6,7 +6,7 @@ use ts3_baselines::build_forecaster;
 use ts3_bench::viz::line_plot;
 use ts3_bench::{
     cell_configs, horizons_for, lookback_for, prepare_task, results_dir, spec, train_forecaster,
-    RunProfile,
+    Progress, RunProfile,
 };
 use ts3_data::Split;
 use ts3_nn::Ctx;
@@ -21,16 +21,14 @@ pub fn run_forecast_figure(stem: &str, dataset: &str, channel: usize) {
     let profile = RunProfile::from_args(&args);
     let lookback = lookback_for(dataset);
     let horizon = *horizons_for(dataset, &profile).last().unwrap();
-    println!(
-        "TS3Net reproduction - {stem} ({dataset} predict-{horizon} showcase), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner(&format!("{stem} ({dataset} predict-{horizon} showcase)"), &profile);
     let s = spec(dataset);
     let task = prepare_task(&s, lookback, horizon, &profile);
     let (cfg, ts3) = cell_configs(task.channels(), lookback, horizon, &profile);
     let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
     let r = train_forecaster(model.as_ref(), &task, &profile);
-    println!("trained TS3Net: test mse={:.3} mae={:.3}\n", r.mse, r.mae);
+    progress.step(&format!("trained TS3Net: test mse={:.3} mae={:.3}", r.mse, r.mae));
     // Showcase window: middle of the test split.
     let idx = task.len(Split::Test) / 2;
     let (x, y) = task.window(Split::Test, idx);
@@ -67,4 +65,5 @@ pub fn run_forecast_figure(stem: &str, dataset: &str, channel: usize) {
     }
     std::fs::write(&path, out).expect("write csv");
     println!("wrote {}", path.display());
+    progress.finish_trace(stem, &profile);
 }

@@ -6,7 +6,7 @@ use ts3_baselines::build_forecaster;
 use ts3_bench::viz::line_plot;
 use ts3_bench::{
     cell_configs, horizons_for, lookback_for, prepare_task, results_dir, spec, train_forecaster,
-    RunProfile,
+    Progress, RunProfile,
 };
 use ts3_data::Split;
 use ts3_nn::Ctx;
@@ -17,17 +17,15 @@ fn main() {
     let dataset = "ETTm2";
     let lookback = lookback_for(dataset);
     let horizon = *horizons_for(dataset, &profile).last().unwrap();
-    println!(
-        "TS3Net reproduction - fig4 ({dataset} OT predict-{horizon} showcase), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner(&format!("fig4 ({dataset} OT predict-{horizon} showcase)"), &profile);
     let s = spec(dataset);
     let task = prepare_task(&s, lookback, horizon, &profile);
     let channel = task.channels() - 1; // the OT (last) variate
     let (cfg, ts3) = cell_configs(task.channels(), lookback, horizon, &profile);
     let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
     let r = train_forecaster(model.as_ref(), &task, &profile);
-    println!("trained TS3Net: test mse={:.3} mae={:.3}\n", r.mse, r.mae);
+    progress.step(&format!("trained TS3Net: test mse={:.3} mae={:.3}", r.mse, r.mae));
     let idx = task.len(Split::Test) / 2;
     let (x, y) = task.window(Split::Test, idx);
     let xb = x.reshape(&[1, lookback, task.channels()]);
@@ -50,4 +48,5 @@ fn main() {
     }
     std::fs::write(&path, out).expect("write csv");
     println!("wrote {}", path.display());
+    progress.finish_trace("fig4", &profile);
 }

@@ -5,17 +5,15 @@
 //! fluctuant), as ASCII renderings plus CSV dumps.
 
 use ts3_bench::viz::{downsample_grid, heat_map, line_plot};
-use ts3_bench::{results_dir, RunProfile};
+use ts3_bench::{results_dir, Progress, RunProfile};
 use ts3_data::spec_by_name;
 use ts3_signal::{triple_decompose, TripleConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!(
-        "TS3Net reproduction - fig5 (triple decomposition visualisation), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner("fig5 (triple decomposition visualisation)", &profile);
     let window = 192usize;
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("results dir");
@@ -68,5 +66,7 @@ fn main() {
         }
         std::fs::write(&path, out).expect("write csv");
         println!("wrote {}", path.display());
+        progress.step(&format!("decomposed {dataset}"));
     }
+    progress.finish_trace("fig5", &profile);
 }

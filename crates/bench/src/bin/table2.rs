@@ -2,13 +2,14 @@
 //! columns for the generated (or real, if CSVs are present) benchmarks,
 //! with the (train, val, test) sizes produced under the active profile.
 
-use ts3_bench::{horizons_for, lookback_for, prepare_task, RunProfile, Table, TABLE4_DATASETS};
+use ts3_bench::{horizons_for, lookback_for, prepare_task, Progress, RunProfile, Table, TABLE4_DATASETS};
 use ts3_data::{spec_by_name, Split};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!("TS3Net reproduction - Table II (dataset descriptions), profile `{}`\n", profile.name);
+    let progress = Progress::new();
+    progress.banner("Table II (dataset descriptions)", &profile);
     let mut table = Table::new(
         "Table II: Description of datasets (synthetic stand-ins; sizes under this profile)",
         &[
@@ -42,13 +43,5 @@ fn main() {
             format!("{} ({})", spec.info_label, spec.freq_label),
         ]);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table2", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table2", &profile);
 }

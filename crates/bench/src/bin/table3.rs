@@ -1,12 +1,14 @@
 //! Regenerates **Table III** — the experiment configuration of TS3Net,
 //! paper scale vs the active reproduction profile.
 
-use ts3_bench::{RunProfile, Table};
+use ts3_bench::{Progress, RunProfile, Table};
 use ts3net_core::TS3NetConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
+    let progress = Progress::new();
+    progress.banner("Table III (experiment configuration)", &profile);
     let scaled = TS3NetConfig::scaled(7, 96, 96);
     let paper = TS3NetConfig::paper(7, 96, 96);
     let mut table = Table::new(
@@ -28,13 +30,5 @@ fn main() {
     for (k, a, b, c) in rows {
         table.push_row(vec![k.to_string(), a, b, c]);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table3", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table3", &profile);
 }

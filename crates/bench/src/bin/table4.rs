@@ -4,9 +4,8 @@
 //! complete; a `1st-count` summary (the paper's bottom row) is printed at
 //! the end.
 
-use std::time::Instant;
 use ts3_baselines::TABLE4_MODELS;
-use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table, TABLE4_DATASETS};
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, Progress, RunProfile, Table, TABLE4_DATASETS};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,11 +31,9 @@ fn main() {
         .copied()
         .filter(|d| filter.is_empty() || filter.iter().any(|f| f.eq_ignore_ascii_case(d)))
         .collect();
-    println!(
-        "TS3Net reproduction - Table IV (long-term forecasting), profile `{}`\nmodels: {}\n",
-        profile.name,
-        TABLE4_MODELS.join(", ")
-    );
+    let progress = Progress::new();
+    progress.banner("Table IV (long-term forecasting)", &profile);
+    progress.info(&format!("models: {}\n", TABLE4_MODELS.join(", ")));
     let mut columns = vec!["Dataset".to_string(), "H".to_string()];
     for m in TABLE4_MODELS {
         columns.push(format!("{m} MSE"));
@@ -45,7 +42,6 @@ fn main() {
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table IV: Long-term forecasting (MSE / MAE)", &col_refs);
     let mut first_counts = vec![0usize; TABLE4_MODELS.len()];
-    let t0 = Instant::now();
     for dataset in &datasets {
         let mut avg = vec![(0.0f32, 0.0f32); TABLE4_MODELS.len()];
         let horizons = horizons_for(dataset, &profile);
@@ -54,12 +50,10 @@ fn main() {
             let mut cells = Vec::new();
             for (mi, model) in TABLE4_MODELS.iter().enumerate() {
                 let r = run_forecast_cell(model, dataset, h, &profile);
-                eprintln!(
-                    "[{:>7.1}s] {dataset} H={h} {model}: mse={:.3} mae={:.3}",
-                    t0.elapsed().as_secs_f32(),
-                    r.mse,
-                    r.mae
-                );
+                progress.step(&format!(
+                    "{dataset} H={h} {model}: mse={:.3} mae={:.3}",
+                    r.mse, r.mae
+                ));
                 row.push(fmt_metric(r.mse));
                 row.push(fmt_metric(r.mae));
                 avg[mi].0 += r.mse / horizons.len() as f32;
@@ -92,13 +86,5 @@ fn main() {
         row.push(String::new());
     }
     table.push_row(row);
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table4", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table4", &profile);
 }

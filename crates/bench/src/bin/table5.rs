@@ -7,11 +7,10 @@
 //! pointwise-masking objective is ratio-agnostic, so the comparison shape
 //! is preserved.
 
-use std::time::Instant;
 use ts3_baselines::{build_imputer, TABLE4_MODELS};
 use ts3_bench::{
-    cell_configs, eval_imputer, fmt_metric, prepare_task, spec, train_imputer, RunProfile, Table,
-    TABLE5_DATASETS,
+    cell_configs, eval_imputer, fmt_metric, prepare_task, spec, train_imputer, Progress,
+    RunProfile, Table, TABLE5_DATASETS,
 };
 use ts3_data::Split;
 
@@ -24,10 +23,8 @@ fn main() {
     // forecasting rows' rate); keep that cap here.
     profile.lr = profile.lr.min(1e-3);
     let window = 96usize;
-    println!(
-        "TS3Net reproduction - Table V (imputation, length-{window} windows), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner(&format!("Table V (imputation, length-{window} windows)"), &profile);
     let mut columns = vec!["Dataset".to_string(), "MaskRatio".to_string()];
     for m in TABLE4_MODELS {
         columns.push(format!("{m} MSE"));
@@ -36,7 +33,6 @@ fn main() {
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table V: Imputation (MSE / MAE on masked points)", &col_refs);
     let mut first_counts = vec![0usize; TABLE4_MODELS.len()];
-    let t0 = Instant::now();
     let datasets: Vec<&str> = if profile.name == "smoke" {
         vec![TABLE5_DATASETS[0]]
     } else {
@@ -56,14 +52,13 @@ fn main() {
                 let r = eval_imputer(model.as_ref(), &task, Split::Test, ratio, &profile);
                 rows.push((r.mse, r.mae));
             }
-            eprintln!(
-                "[{:>7.1}s] {dataset} {model_name}: {}",
-                t0.elapsed().as_secs_f32(),
+            progress.step(&format!(
+                "{dataset} {model_name}: {}",
                 rows.iter()
                     .map(|(a, b)| format!("{a:.3}/{b:.3}"))
                     .collect::<Vec<_>>()
                     .join("  ")
-            );
+            ));
             per_model.push(rows);
         }
         let mut avg = vec![(0.0f32, 0.0f32); TABLE4_MODELS.len()];
@@ -104,13 +99,5 @@ fn main() {
         row.push(String::new());
     }
     table.push_row(row);
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table5", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table5", &profile);
 }

@@ -2,8 +2,7 @@
 //! `w/o TF-Block` and `w/o Both` on ETTm1, Electricity, Traffic and
 //! Exchange.
 
-use std::time::Instant;
-use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table};
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, Progress, RunProfile, Table};
 
 const DATASETS: [&str; 4] = ["ETTm1", "Electricity", "Traffic", "Exchange"];
 const VARIANTS: [&str; 4] = [
@@ -16,10 +15,8 @@ const VARIANTS: [&str; 4] = [
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!(
-        "TS3Net reproduction - Table VI (architecture ablations), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner("Table VI (architecture ablations)", &profile);
     let mut columns = vec!["Variant".to_string(), "Metric".to_string()];
     let datasets: Vec<&str> = if profile.name == "smoke" {
         vec![DATASETS[0]]
@@ -34,7 +31,6 @@ fn main() {
     }
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table VI: Ablations on model architecture", &col_refs);
-    let t0 = Instant::now();
     for variant in VARIANTS {
         let mut mse_row = vec![variant.to_string(), "MSE".to_string()];
         let mut mae_row = vec![variant.to_string(), "MAE".to_string()];
@@ -43,12 +39,10 @@ fn main() {
             let mut sum = (0.0f32, 0.0f32);
             for &h in &horizons {
                 let r = run_forecast_cell(variant, dataset, h, &profile);
-                eprintln!(
-                    "[{:>7.1}s] {variant} {dataset} H={h}: mse={:.3} mae={:.3}",
-                    t0.elapsed().as_secs_f32(),
-                    r.mse,
-                    r.mae
-                );
+                progress.step(&format!(
+                    "{variant} {dataset} H={h}: mse={:.3} mae={:.3}",
+                    r.mse, r.mae
+                ));
                 mse_row.push(fmt_metric(r.mse));
                 mae_row.push(fmt_metric(r.mae));
                 sum.0 += r.mse / horizons.len() as f32;
@@ -60,13 +54,5 @@ fn main() {
         table.push_row(mse_row);
         table.push_row(mae_row);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table6", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table6", &profile);
 }

@@ -2,8 +2,7 @@
 //! trend-seasonal decomposition: TSD-CNN and TSD-Trans against TS3Net on
 //! ETTm1, ETTm2 and Exchange.
 
-use std::time::Instant;
-use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, RunProfile, Table};
+use ts3_bench::{fmt_metric, horizons_for, run_forecast_cell, Progress, RunProfile, Table};
 
 const DATASETS: [&str; 3] = ["ETTm1", "ETTm2", "Exchange"];
 const MODELS: [&str; 3] = ["TSD-CNN", "TSD-Trans", "TS3Net"];
@@ -11,10 +10,8 @@ const MODELS: [&str; 3] = ["TSD-CNN", "TSD-Trans", "TS3Net"];
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!(
-        "TS3Net reproduction - Table VII (triple vs trend-seasonal decomposition), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner("Table VII (triple vs trend-seasonal decomposition)", &profile);
     let datasets: Vec<&str> = if profile.name == "smoke" {
         vec![DATASETS[0]]
     } else {
@@ -32,7 +29,6 @@ fn main() {
         "Table VII: Triple Decomposition vs Trend-Seasonal Decomposition",
         &col_refs,
     );
-    let t0 = Instant::now();
     for dataset in &datasets {
         let horizons = horizons_for(dataset, &profile);
         let mut mse_row = vec![dataset.to_string(), "MSE".to_string()];
@@ -41,12 +37,10 @@ fn main() {
             let mut sum = (0.0f32, 0.0f32);
             for &h in &horizons {
                 let r = run_forecast_cell(model, dataset, h, &profile);
-                eprintln!(
-                    "[{:>7.1}s] {dataset} {model} H={h}: mse={:.3} mae={:.3}",
-                    t0.elapsed().as_secs_f32(),
-                    r.mse,
-                    r.mae
-                );
+                progress.step(&format!(
+                    "{dataset} {model} H={h}: mse={:.3} mae={:.3}",
+                    r.mse, r.mae
+                ));
                 mse_row.push(fmt_metric(r.mse));
                 mae_row.push(fmt_metric(r.mae));
                 sum.0 += r.mse / horizons.len() as f32;
@@ -58,13 +52,5 @@ fn main() {
         table.push_row(mse_row);
         table.push_row(mae_row);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table7", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table7", &profile);
 }

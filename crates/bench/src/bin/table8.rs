@@ -2,10 +2,9 @@
 //! trained on series where a fraction rho of the points carries injected
 //! noise matching the signal's own distribution (ETTh1, ETTh2, Exchange).
 
-use std::time::Instant;
 use ts3_baselines::build_forecaster;
 use ts3_bench::{
-    cell_configs, fmt_metric, lookback_for, spec, train_forecaster, RunProfile,
+    cell_configs, fmt_metric, lookback_for, spec, train_forecaster, Progress, RunProfile,
     Table,
 };
 use ts3_data::{inject_noise, ForecastTask};
@@ -17,10 +16,8 @@ const RHOS: [f32; 4] = [0.0, 0.01, 0.05, 0.10];
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!(
-        "TS3Net reproduction - Table VIII (noise robustness), profile `{}`\n",
-        profile.name
-    );
+    let progress = Progress::new();
+    progress.banner("Table VIII (noise robustness)", &profile);
     let datasets: Vec<&str> = if profile.name == "smoke" {
         vec![DATASETS[0]]
     } else {
@@ -35,7 +32,6 @@ fn main() {
     }
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table VIII: Robustness analysis (noise injection)", &col_refs);
-    let t0 = Instant::now();
     for &rho in &RHOS {
         let mut mse_row = vec![format!("{:.0}%", rho * 100.0), "MSE".to_string()];
         let mut mae_row = vec![format!("{:.0}%", rho * 100.0), "MAE".to_string()];
@@ -60,12 +56,10 @@ fn main() {
                 let (cfg, ts3) = cell_configs(task.channels(), lookback, h, &profile);
                 let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
                 let r = train_forecaster(model.as_ref(), &task, &profile);
-                eprintln!(
-                    "[{:>7.1}s] rho={rho} {dataset} H={h}: mse={:.3} mae={:.3}",
-                    t0.elapsed().as_secs_f32(),
-                    r.mse,
-                    r.mae
-                );
+                progress.step(&format!(
+                    "rho={rho} {dataset} H={h}: mse={:.3} mae={:.3}",
+                    r.mse, r.mae
+                ));
                 mse_row.push(fmt_metric(r.mse));
                 mae_row.push(fmt_metric(r.mae));
                 sum.0 += r.mse / horizons.len() as f32;
@@ -77,13 +71,5 @@ fn main() {
         table.push_row(mse_row);
         table.push_row(mae_row);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table8", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table8", &profile);
 }

@@ -3,10 +3,9 @@
 //! CPU-scaled analog sweeps {4, 8, 12, 16} (same x2 spacing around the
 //! default), verifying the same plateau.
 
-use std::time::Instant;
 use ts3_baselines::build_forecaster;
 use ts3_bench::{
-    cell_configs, fmt_metric, lookback_for, prepare_task, spec, train_forecaster,
+    cell_configs, fmt_metric, lookback_for, prepare_task, spec, train_forecaster, Progress,
     RunProfile, Table,
 };
 
@@ -17,9 +16,10 @@ const LAMBDAS: [usize; 4] = [4, 8, 12, 16];
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
-    println!(
-        "TS3Net reproduction - Table IX (lambda sensitivity; paper {{50,100,150,200}} -> scaled {{4,8,12,16}}), profile `{}`\n",
-        profile.name
+    let progress = Progress::new();
+    progress.banner(
+        "Table IX (lambda sensitivity; paper {50,100,150,200} -> scaled {4,8,12,16})",
+        &profile,
     );
     let datasets: Vec<&str> = if profile.name == "smoke" {
         vec![DATASETS[0]]
@@ -35,7 +35,6 @@ fn main() {
     }
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table IX: Hyper-parameter sensitivity (lambda)", &col_refs);
-    let t0 = Instant::now();
     for &lambda in &LAMBDAS {
         let default_marker = if lambda == 8 { " (default)" } else { "" };
         let mut mse_row = vec![format!("{lambda}{default_marker}"), "MSE".to_string()];
@@ -51,12 +50,10 @@ fn main() {
                 let ts3 = ts3.with_lambda(lambda);
                 let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
                 let r = train_forecaster(model.as_ref(), &task, &profile);
-                eprintln!(
-                    "[{:>7.1}s] lambda={lambda} {dataset} H={h}: mse={:.3} mae={:.3}",
-                    t0.elapsed().as_secs_f32(),
-                    r.mse,
-                    r.mae
-                );
+                progress.step(&format!(
+                    "lambda={lambda} {dataset} H={h}: mse={:.3} mae={:.3}",
+                    r.mse, r.mae
+                ));
                 mse_row.push(fmt_metric(r.mse));
                 mae_row.push(fmt_metric(r.mae));
                 sum.0 += r.mse / horizons.len() as f32;
@@ -68,13 +65,5 @@ fn main() {
         table.push_row(mse_row);
         table.push_row(mae_row);
     }
-    print!("{}", table.render());
-    let stem = ts3_bench::csv_stem("table9", profile.name);
-    println!();
-    for res in [table.write_csv(&stem), table.write_json(&stem)] {
-        match res {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("result write failed: {e}"),
-        }
-    }
+    progress.finish_table(&table, "table9", &profile);
 }

@@ -3,13 +3,14 @@
 
 use std::time::Instant;
 use ts3_baselines::{build_forecaster, BaselineConfig};
-use ts3_bench::{persistence_baseline, prepare_task, train_forecaster, RunProfile};
+use ts3_bench::{persistence_baseline, prepare_task, train_forecaster, Progress, RunProfile};
 use ts3_data::spec_by_name;
 use ts3net_core::TS3NetConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile = RunProfile::from_args(&args);
+    let progress = Progress::new();
     let dataset = std::env::var("TS3_DATASET").unwrap_or_else(|_| "ETTh1".into());
     let spec = spec_by_name(&dataset).unwrap();
     let (lookback, horizon) = (96, 96);
@@ -18,16 +19,17 @@ fn main() {
     let cfg = BaselineConfig::scaled(c, lookback, horizon);
     let ts3 = TS3NetConfig::scaled(c, lookback, horizon);
     let p = persistence_baseline(&task, &profile);
-    println!("[{dataset}] persistence: mse={:.3} mae={:.3}", p.mse, p.mae);
+    progress.step(&format!("[{dataset}] persistence: mse={:.3} mae={:.3}", p.mse, p.mae));
     for name in args.iter().skip(1).filter(|a| !a.starts_with("--")) {
         let t0 = Instant::now();
         let model = build_forecaster(name, &cfg, &ts3, 0);
         let r = train_forecaster(model.as_ref(), &task, &profile);
-        println!(
+        progress.step(&format!(
             "[{dataset}] {name}: {:.1}s  mse={:.3} mae={:.3}",
             t0.elapsed().as_secs_f32(),
             r.mse,
             r.mae,
-        );
+        ));
     }
+    progress.finish_trace("timing_probe", &profile);
 }

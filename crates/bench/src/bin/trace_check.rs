@@ -1,0 +1,101 @@
+//! CI validator for `results/<stem>.trace.json` run manifests: parses
+//! the file with `ts3-json`, checks the `ts3.trace.v1` schema tag, and
+//! optionally asserts the presence of training epoch events and
+//! instrumented kernel spans. Exits non-zero (with a message on stderr)
+//! on any failure, so `scripts/verify.sh` can gate on it.
+//!
+//! Usage: `trace_check <path> [--require-epoch] [--require-kernel-span]`
+
+use ts3_json::Json;
+
+/// Recursively count events named `name` in a span subtree.
+fn count_events(span: &Json, name: &str) -> usize {
+    let mut n = 0;
+    if let Some(events) = span.get("events").and_then(|e| e.as_array()) {
+        n += events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some(name))
+            .count();
+    }
+    if let Some(children) = span.get("children").and_then(|c| c.as_array()) {
+        for c in children {
+            n += count_events(c, name);
+        }
+    }
+    n
+}
+
+/// Recursively count spans whose name starts with one of `prefixes`.
+fn count_kernel_spans(span: &Json, prefixes: &[&str]) -> usize {
+    let mut n = 0;
+    if let Some(name) = span.get("name").and_then(|v| v.as_str()) {
+        if prefixes.iter().any(|p| name.starts_with(p)) {
+            n += 1;
+        }
+    }
+    if let Some(children) = span.get("children").and_then(|c| c.as_array()) {
+        for c in children {
+            n += count_kernel_spans(c, prefixes);
+        }
+    }
+    n
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| fail("usage: trace_check <path> [--require-epoch] [--require-kernel-span]"));
+    let require_epoch = args.iter().any(|a| a == "--require-epoch");
+    let require_kernel = args.iter().any(|a| a == "--require-kernel-span");
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
+
+    if doc.get("schema").and_then(|v| v.as_str()) != Some(ts3_bench::TRACE_SCHEMA) {
+        fail(&format!("{path}: missing or wrong schema tag (want {})", ts3_bench::TRACE_SCHEMA));
+    }
+    let spans = doc
+        .get("trace")
+        .and_then(|t| t.get("spans"))
+        .and_then(|s| s.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: no trace.spans array")));
+    let metrics = doc
+        .get("metrics")
+        .unwrap_or_else(|| fail(&format!("{path}: no metrics object")));
+
+    let epochs: usize = spans.iter().map(|s| count_events(s, "epoch")).sum();
+    let kernels: usize = spans
+        .iter()
+        .map(|s| count_kernel_spans(s, &["tensor.", "signal."]))
+        .sum();
+    let flops = metrics
+        .get("counters")
+        .and_then(|c| c.get("tensor.matmul.flops"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+
+    if require_epoch && epochs == 0 {
+        fail(&format!("{path}: expected >= 1 training epoch event, found none"));
+    }
+    if require_kernel {
+        if kernels == 0 {
+            fail(&format!("{path}: expected >= 1 kernel span (tensor.*/signal.*), found none"));
+        }
+        if flops <= 0.0 {
+            fail(&format!("{path}: tensor.matmul.flops counter missing or zero"));
+        }
+    }
+    println!(
+        "trace_check: OK {path} ({} root spans, {epochs} epoch events, {kernels} kernel spans, {flops:.0} matmul flops)",
+        spans.len()
+    );
+}

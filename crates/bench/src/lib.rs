@@ -6,14 +6,18 @@
 //!
 //! * [`profile`] — smoke / quick / full compute profiles;
 //! * [`runner`] — the train/early-stop/evaluate loop (Adam, patience 3,
-//!   MSE/MAE) for forecasting and imputation;
+//!   MSE/MAE) for forecasting and imputation, with per-epoch `ts3-obs`
+//!   events;
 //! * [`report`] — aligned console tables + CSV/JSON persistence into
-//!   `results/`;
+//!   `results/`, and the shared [`report::Progress`] reporter;
+//! * [`manifest`] — the `results/<stem>.trace.json` run-manifest writer
+//!   (active when `TS3_TRACE>=1`);
 //! * [`timing`] — the wall-clock harness behind the opt-in `benches/`
 //!   targets (`--features bench-harness`);
 //! * [`viz`] — ASCII line plots and heat maps for the figures.
 
 pub mod experiments;
+pub mod manifest;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -21,8 +25,9 @@ pub mod timing;
 pub mod viz;
 
 pub use experiments::{cell_configs, horizons_for, lookback_for, paper_horizons, run_forecast_cell, spec, sweep_horizons, TABLE4_DATASETS, TABLE5_DATASETS};
+pub use manifest::{write_trace_manifest, TRACE_SCHEMA};
 pub use profile::RunProfile;
-pub use report::{csv_stem, fmt_metric, results_dir, Table};
+pub use report::{csv_stem, fmt_metric, results_dir, workspace_root, Progress, Table};
 pub use runner::{
     eval_forecaster, eval_imputer, mean_fill_baseline, persistence_baseline, prepare_task,
     train_forecaster, train_imputer, CellResult,

@@ -1,9 +1,12 @@
 //! Result tables: fixed-width console rendering (mirroring the paper's
-//! row/column layout) and CSV + JSON persistence under `results/`.
+//! row/column layout) and CSV + JSON persistence under `results/`, plus
+//! the shared [`Progress`] reporter used by every table/figure binary.
 
+use crate::profile::RunProfile;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 use ts3_json::Json;
 
 /// A rectangular result table.
@@ -136,6 +139,99 @@ pub fn results_dir() -> PathBuf {
         }
     }
     PathBuf::from("results")
+}
+
+/// Locate the workspace root: the nearest ancestor whose `Cargo.toml`
+/// declares `[workspace]` (bench binaries run from the package dir, the
+/// CLI from the root). Falls back to the current directory.
+pub fn workspace_root() -> PathBuf {
+    for base in [".", "..", "../.."] {
+        let p = PathBuf::from(base);
+        if fs::read_to_string(p.join("Cargo.toml"))
+            .map(|s| s.contains("[workspace]"))
+            .unwrap_or(false)
+        {
+            return p;
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// The progress reporter shared by every table/figure binary: a run
+/// banner, elapsed-stamped step lines on stderr, and result persistence
+/// (table render + CSV/JSON + trace manifest) in one call. Each step
+/// also fires a `progress` obs event, so traces carry the same timeline
+/// the console showed. Setting `TS3_TRACE=0` explicitly silences the
+/// banner and step lines (silent CI); tables and `wrote ...` lines
+/// always print.
+pub struct Progress {
+    t0: Instant,
+    quiet: bool,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Progress {
+    /// Start the clock; reads the `TS3_TRACE=0` silencer once.
+    pub fn new() -> Self {
+        Progress { t0: Instant::now(), quiet: ts3_obs::explicitly_silent() }
+    }
+
+    /// Print the run headline (what is being regenerated + profile).
+    pub fn banner(&self, what: &str, profile: &RunProfile) {
+        if !self.quiet {
+            println!("TS3Net reproduction - {what}, profile `{}`\n", profile.name);
+        }
+    }
+
+    /// One progress step: `[  12.3s] msg` on stderr + a `progress` event.
+    pub fn step(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("[{:>7.1}s] {msg}", self.t0.elapsed().as_secs_f32());
+        }
+        ts3_obs::event("progress", |f| {
+            f.set("msg", msg.to_string());
+            f.set("elapsed_s", self.t0.elapsed().as_secs_f64());
+        });
+    }
+
+    /// Print an info line on stdout (figure summaries etc.), honouring
+    /// the silencer.
+    pub fn info(&self, msg: &str) {
+        if !self.quiet {
+            println!("{msg}");
+        }
+    }
+
+    /// Render the finished table, persist CSV + JSON under `results/`,
+    /// and write the trace manifest when tracing is on.
+    pub fn finish_table(&self, table: &Table, base: &str, profile: &RunProfile) {
+        print!("{}", table.render());
+        println!();
+        let stem = csv_stem(base, profile.name);
+        for res in [table.write_csv(&stem), table.write_json(&stem)] {
+            match res {
+                Ok(p) => println!("wrote {}", p.display()),
+                Err(e) => eprintln!("result write failed: {e}"),
+            }
+        }
+        self.finish_trace(base, profile);
+    }
+
+    /// Write just the trace manifest (for the figure binaries, which
+    /// persist their CSVs themselves).
+    pub fn finish_trace(&self, base: &str, profile: &RunProfile) {
+        let stem = csv_stem(base, profile.name);
+        match crate::manifest::write_trace_manifest(&stem, profile) {
+            Ok(Some(p)) => println!("wrote {}", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("trace manifest write failed: {e}"),
+        }
+    }
 }
 
 

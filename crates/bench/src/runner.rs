@@ -60,6 +60,7 @@ pub fn eval_forecaster(
     split: Split,
     profile: &RunProfile,
 ) -> CellResult {
+    let _s = ts3_obs::span("bench.eval_forecaster");
     let mut ctx = Ctx::eval();
     let mut m1 = Average::new();
     let mut m2 = Average::new();
@@ -79,21 +80,32 @@ pub fn train_forecaster(
     task: &ForecastTask,
     profile: &RunProfile,
 ) -> CellResult {
+    let mut _s = ts3_obs::span("bench.train_forecaster");
+    if _s.active() {
+        _s.field("epochs", profile.epochs);
+        _s.field("lr", profile.lr);
+    }
     let mut opt = Adam::new(model.parameters(), profile.lr);
     let mut ctx = Ctx::train(profile.seed);
     let mut best_val = f32::INFINITY;
     let mut bad_epochs = 0usize;
+    let mut stop_reason = "epochs_exhausted";
+    let mut stop_epoch = 0usize;
     for epoch in 0..profile.epochs {
-        opt.set_lr(lr_type1(profile.lr, epoch));
+        stop_epoch = epoch;
+        let lr = lr_type1(profile.lr, epoch);
+        opt.set_lr(lr);
         let batches = task.epoch_batches(
             Split::Train,
             profile.batch_size,
             profile.seed + epoch as u64,
             profile.max_train_batches,
         );
+        let mut train_loss = Average::new();
         for idx in &batches {
             let (x, y) = task.batch(Split::Train, idx);
             let loss = model.forecast(&x, &mut ctx).mse_loss(&y);
+            train_loss.push_weighted(loss.value().item(), idx.len() as f32);
             opt.zero_grad();
             loss.backward();
             opt.clip_grad_norm(5.0);
@@ -105,11 +117,24 @@ pub fn train_forecaster(
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
-            if bad_epochs >= profile.patience {
-                break; // early stopping (paper: patience 3)
-            }
+        }
+        ts3_obs::event("epoch", |f| {
+            f.set("epoch", epoch);
+            f.set("loss", train_loss.mean());
+            f.set("lr", lr);
+            f.set("val_mse", val.mse);
+            f.set("bad_epochs", bad_epochs);
+        });
+        if bad_epochs >= profile.patience {
+            stop_reason = "patience"; // early stopping (paper: patience 3)
+            break;
         }
     }
+    ts3_obs::event("early_stop", |f| {
+        f.set("reason", stop_reason);
+        f.set("epoch", stop_epoch);
+        f.set("best_val", best_val);
+    });
     eval_forecaster(model, task, Split::Test, profile)
 }
 
@@ -121,6 +146,7 @@ pub fn eval_imputer(
     ratio: f32,
     profile: &RunProfile,
 ) -> CellResult {
+    let _s = ts3_obs::span("bench.eval_imputer");
     let mut ctx = Ctx::eval();
     let mut m1 = Average::new();
     let mut m2 = Average::new();
@@ -142,24 +168,36 @@ pub fn train_imputer(
     ratio: f32,
     profile: &RunProfile,
 ) -> CellResult {
+    let mut _s = ts3_obs::span("bench.train_imputer");
+    if _s.active() {
+        _s.field("epochs", profile.epochs);
+        _s.field("lr", profile.lr);
+        _s.field("ratio", ratio);
+    }
     let mut opt = Adam::new(model.parameters(), profile.lr);
     let mut ctx = Ctx::train(profile.seed);
     let mut best_val = f32::INFINITY;
     let mut bad_epochs = 0usize;
+    let mut stop_reason = "epochs_exhausted";
+    let mut stop_epoch = 0usize;
     for epoch in 0..profile.epochs {
-        opt.set_lr(lr_type1(profile.lr, epoch));
+        stop_epoch = epoch;
+        let lr = lr_type1(profile.lr, epoch);
+        opt.set_lr(lr);
         let batches = task.epoch_batches(
             Split::Train,
             profile.batch_size,
             profile.seed + 31 * epoch as u64,
             profile.max_train_batches,
         );
+        let mut train_loss = Average::new();
         for (bi, idx) in batches.iter().enumerate() {
             let (x, _) = task.batch(Split::Train, idx);
             let mb = mask_batch(&x, ratio, profile.seed + (epoch * 1000 + bi) as u64);
             let loss = model
                 .impute(&mb.masked, &mb.mask, &mut ctx)
                 .masked_mse_loss(&mb.target, &mb.mask);
+            train_loss.push_weighted(loss.value().item(), idx.len() as f32);
             opt.zero_grad();
             loss.backward();
             opt.clip_grad_norm(5.0);
@@ -171,11 +209,24 @@ pub fn train_imputer(
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
-            if bad_epochs >= profile.patience {
-                break;
-            }
+        }
+        ts3_obs::event("epoch", |f| {
+            f.set("epoch", epoch);
+            f.set("loss", train_loss.mean());
+            f.set("lr", lr);
+            f.set("val_mse", val.mse);
+            f.set("bad_epochs", bad_epochs);
+        });
+        if bad_epochs >= profile.patience {
+            stop_reason = "patience";
+            break;
         }
     }
+    ts3_obs::event("early_stop", |f| {
+        f.set("reason", stop_reason);
+        f.set("epoch", stop_epoch);
+        f.set("best_val", best_val);
+    });
     eval_imputer(model, task, Split::Test, ratio, profile)
 }
 

@@ -2,19 +2,23 @@
 //! `benches/` (replacing criterion so the workspace stays free of
 //! external dependencies).
 //!
-//! Methodology: each benchmark is warmed up for a fixed duration, then
-//! measured in batches — the per-call iteration count is auto-scaled so
-//! one sample lasts at least `MIN_SAMPLE` (1 ms), which keeps `Instant`
-//! quantisation noise well below 1%. We report the **minimum** and
-//! median per-iteration time across samples; the minimum is the
-//! standard low-noise estimator for CPU-bound kernels (any run can only
-//! be slowed down by interference, never sped up).
+//! Methodology: each benchmark body is first run once explicitly (paying
+//! any lazy initialisation — thread-pool spawn, plan caches — outside the
+//! measurement), then warmed up for a fixed duration while the per-call
+//! iteration count is auto-scaled so one sample lasts at least
+//! `MIN_SAMPLE` (1 ms), which keeps [`Instant`] quantisation noise well
+//! below 1%. All deltas are monotonic `Instant` differences. We report
+//! the **median** per-iteration time with its inter-quartile range
+//! (p25..p75): the median is robust to interference spikes, and the IQR
+//! makes run-to-run noise visible instead of averaging it away.
 //!
 //! Knobs: `TS3_BENCH_MS` overrides the per-benchmark measurement budget
 //! in milliseconds (default 300).
 
 use std::hint::black_box as hint_black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+use ts3_json::Json;
 
 /// Re-export of [`std::hint::black_box`] under the name benchmark
 /// bodies conventionally use.
@@ -36,10 +40,14 @@ fn measure_budget() -> Duration {
 /// Timing summary of one benchmark (per-iteration durations).
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
-    /// Fastest observed sample — the headline number.
+    /// Fastest observed sample (the classic low-noise estimator).
     pub min: Duration,
-    /// Median sample.
+    /// 25th-percentile sample (lower edge of the IQR).
+    pub p25: Duration,
+    /// Median sample — the headline number.
     pub median: Duration,
+    /// 75th-percentile sample (upper edge of the IQR).
+    pub p75: Duration,
     /// Total iterations executed during measurement.
     pub iters: u64,
 }
@@ -56,29 +64,79 @@ impl Harness {
         Harness::default()
     }
 
-    /// Measure `f` and record it under `label`. Prints one progress
-    /// line immediately so long runs show liveness.
+    /// Measure `f` and record it under `label` (by convention
+    /// `op/shape`, which the JSON export splits apart). Prints one
+    /// progress line immediately so long runs show liveness.
     pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
         let stats = run_one(&mut f);
         println!(
-            "{label:<40} min {:>12}  median {:>12}  ({} iters)",
-            fmt_duration(stats.min),
+            "{label:<40} median {:>12}  IQR [{:>10} .. {:>10}]  ({} iters)",
             fmt_duration(stats.median),
+            fmt_duration(stats.p25),
+            fmt_duration(stats.p75),
             stats.iters
         );
         self.results.push((label.to_string(), stats));
+    }
+
+    /// All recorded results in registration order.
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.results
+    }
+
+    /// Write the results as machine-readable JSON: one entry per
+    /// benchmark with the label's `op`/`shape` halves, nanosecond
+    /// timing percentiles and the thread cap the run used.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<PathBuf> {
+        let entries: Json = self
+            .results
+            .iter()
+            .map(|(label, s)| {
+                let (op, shape) = label.split_once('/').unwrap_or((label.as_str(), ""));
+                Json::obj([
+                    ("op", Json::from(op)),
+                    ("shape", Json::from(shape)),
+                    ("median_ns", Json::Num(s.median.as_nanos() as f64)),
+                    ("p25_ns", Json::Num(s.p25.as_nanos() as f64)),
+                    ("p75_ns", Json::Num(s.p75.as_nanos() as f64)),
+                    ("min_ns", Json::Num(s.min.as_nanos() as f64)),
+                    ("iters", Json::Num(s.iters as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema", Json::from("ts3.bench.v1")),
+            ("threads", Json::Num(ts3_tensor::par::max_threads() as f64)),
+            ("entries", entries),
+        ]);
+        std::fs::write(path, doc.to_string_pretty())?;
+        Ok(path.to_path_buf())
     }
 
     /// Render the final summary table (sorted as registered).
     pub fn finish(self) {
         println!("\n== benchmark summary ({} entries) ==", self.results.len());
         for (label, s) in &self.results {
-            println!("{label:<40} {:>12}", fmt_duration(s.min));
+            println!(
+                "{label:<40} {:>12} (IQR {:>10} .. {:>10})",
+                fmt_duration(s.median),
+                fmt_duration(s.p25),
+                fmt_duration(s.p75)
+            );
         }
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample list.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 fn run_one<R>(f: &mut impl FnMut() -> R) -> Stats {
+    // One explicit warm-up iteration before anything is timed: the first
+    // call pays one-off lazy costs that must not skew calibration.
+    hint_black_box(f());
     // Warm-up: also discovers how many iterations fill MIN_SAMPLE.
     let mut per_sample = 1u64;
     let warm_start = Instant::now();
@@ -94,7 +152,7 @@ fn run_one<R>(f: &mut impl FnMut() -> R) -> Stats {
             break;
         }
     }
-    // Measurement.
+    // Measurement: monotonic Instant deltas only.
     let budget = measure_budget();
     let mut samples: Vec<Duration> = Vec::new();
     let mut total_iters = 0u64;
@@ -110,7 +168,9 @@ fn run_one<R>(f: &mut impl FnMut() -> R) -> Stats {
     samples.sort();
     Stats {
         min: samples[0],
-        median: samples[samples.len() / 2],
+        p25: percentile(&samples, 0.25),
+        median: percentile(&samples, 0.50),
+        p75: percentile(&samples, 0.75),
         iters: total_iters,
     }
 }
@@ -141,14 +201,44 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_ordered() {
+        let samples: Vec<Duration> = (1..=9).map(Duration::from_micros).collect();
+        let p25 = percentile(&samples, 0.25);
+        let p50 = percentile(&samples, 0.50);
+        let p75 = percentile(&samples, 0.75);
+        assert!(p25 <= p50 && p50 <= p75);
+        assert_eq!(p50, Duration::from_micros(5));
+    }
+
+    #[test]
     fn harness_records_each_bench() {
         // Keep the budget tiny so the unit test stays fast.
         std::env::set_var("TS3_BENCH_MS", "5");
         let mut h = Harness::new();
-        h.bench("noop", || black_box(1 + 1));
-        assert_eq!(h.results.len(), 1);
-        assert!(h.results[0].1.iters > 0);
+        h.bench("noop/1", || black_box(1 + 1));
+        assert_eq!(h.results().len(), 1);
+        let s = h.results()[0].1;
+        assert!(s.iters > 0);
+        assert!(s.min <= s.p25 && s.p25 <= s.median && s.median <= s.p75);
         h.finish();
+        std::env::remove_var("TS3_BENCH_MS");
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        std::env::set_var("TS3_BENCH_MS", "5");
+        let mut h = Harness::new();
+        h.bench("fft/96", || black_box(2 * 2));
+        let path = std::env::temp_dir().join("ts3_bench_json_test.json");
+        h.write_json(&path).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("ts3.bench.v1"));
+        assert!(doc.get("threads").unwrap().as_usize().unwrap() >= 1);
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries[0].get("op").unwrap().as_str(), Some("fft"));
+        assert_eq!(entries[0].get("shape").unwrap().as_str(), Some("96"));
+        assert!(entries[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+        std::fs::remove_file(&path).ok();
         std::env::remove_var("TS3_BENCH_MS");
     }
 }

@@ -1,0 +1,58 @@
+//! The ts3-obs determinism contract, checked end-to-end: a smoke
+//! training run must produce the SAME metrics dump (counter values) and
+//! the SAME span tree shape (names + nesting + event names, durations
+//! excluded) whether the tensor kernels run on 1 thread or 4.
+//!
+//! This is its own integration-test binary (not a unit test) so it owns
+//! the process-global collector and thread-cap state outright.
+
+use ts3_bench::{prepare_task, train_forecaster, RunProfile};
+use ts3_baselines::{build_forecaster, BaselineConfig};
+use ts3_data::spec_by_name;
+use ts3net_core::TS3NetConfig;
+
+/// One smoke training cell (TS3Net so the signal/CWT kernels are
+/// exercised too), returning (sorted counters, span tree shape).
+fn traced_smoke_run() -> (Vec<(&'static str, u64)>, String) {
+    ts3_obs::reset();
+    let mut profile = RunProfile::smoke();
+    profile.max_train_batches = Some(2);
+    let spec = spec_by_name("ETTh1").unwrap();
+    let task = prepare_task(&spec, 24, 12, &profile);
+    let cfg = BaselineConfig::scaled(task.channels(), 24, 12);
+    let ts3 = TS3NetConfig::scaled(task.channels(), 24, 12);
+    let model = build_forecaster("TS3Net", &cfg, &ts3, profile.seed);
+    let r = train_forecaster(model.as_ref(), &task, &profile);
+    assert!(r.mse.is_finite());
+    let snap = ts3_obs::metrics_snapshot();
+    (snap.counters, ts3_obs::tree_shape())
+}
+
+#[test]
+fn metrics_and_tree_shape_ignore_thread_count() {
+    ts3_obs::set_level(1);
+
+    ts3_tensor::par::set_max_threads(1);
+    let (counters_1, shape_1) = traced_smoke_run();
+
+    ts3_tensor::par::set_max_threads(4);
+    let (counters_4, shape_4) = traced_smoke_run();
+
+    ts3_obs::set_level(0);
+    ts3_obs::reset();
+
+    assert!(!counters_1.is_empty(), "smoke run recorded no counters");
+    assert!(
+        counters_1.iter().any(|(k, _)| *k == "tensor.matmul.flops"),
+        "matmul flop counter missing: {counters_1:?}"
+    );
+    assert_eq!(
+        counters_1, counters_4,
+        "metrics dump differs between TS3_THREADS=1 and TS3_THREADS=4"
+    );
+    assert!(!shape_1.is_empty(), "smoke run recorded no spans");
+    assert_eq!(
+        shape_1, shape_4,
+        "span tree shape differs between TS3_THREADS=1 and TS3_THREADS=4"
+    );
+}

@@ -170,6 +170,13 @@ impl ForecastModel for TS3Net {
         assert_eq!(x.rank(), 3, "TS3Net expects [B, T, C]");
         assert_eq!(x.shape()[1], self.cfg.lookback, "lookback mismatch");
         assert_eq!(x.shape()[2], self.cfg.c_in, "channel mismatch");
+        let mut _s = ts3_obs::span("ts3net.forecast");
+        if _s.active() {
+            _s.field("b", x.shape()[0]);
+            _s.field("lookback", self.cfg.lookback);
+            _s.field("horizon", self.cfg.horizon);
+            ts3_obs::counter_add("ts3net.forecast.calls", 1);
+        }
         if self.cfg.ablation.without_td {
             // Ablation: no decomposition at all — plain backbone + head.
             let h0 = self.embed.forward(&Var::constant(x.clone()), ctx);

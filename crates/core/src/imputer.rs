@@ -73,6 +73,13 @@ impl ImputationModel for TS3NetImputer {
     fn impute(&self, masked: &Tensor, mask: &Tensor, ctx: &mut Ctx) -> Var {
         assert_eq!(masked.rank(), 3, "imputer expects [B, T, C]");
         assert_eq!(masked.shape(), mask.shape(), "mask shape mismatch");
+        let mut _s = ts3_obs::span("ts3net.impute");
+        if _s.active() {
+            _s.field("b", masked.shape()[0]);
+            _s.field("t", masked.shape()[1]);
+            _s.field("c", masked.shape()[2]);
+            ts3_obs::counter_add("ts3net.impute.calls", 1);
+        }
         // Observed-mean fill: replace hidden zeros with each channel's
         // observed mean so the spectral analysis is not biased toward 0.
         let t = masked.shape()[1];

@@ -49,7 +49,12 @@ impl Adam {
             })
             .sum::<f32>()
             .sqrt();
+        if ts3_obs::enabled() {
+            ts3_obs::gauge_set("optim.grad_norm", total as f64);
+            ts3_obs::observe("optim.grad_norm", total as f64);
+        }
         if total > max_norm && total > 0.0 {
+            ts3_obs::counter_add("optim.grad_clips", 1);
             let scale = max_norm / total;
             for p in &self.params {
                 p.scale_grad(scale);
@@ -60,6 +65,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        ts3_obs::counter_add("optim.adam.steps", 1);
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);

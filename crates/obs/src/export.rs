@@ -1,0 +1,187 @@
+//! The [`ts3_json`] sink: serialise the span tree and the metrics
+//! registry as `Json` documents (the schema documented in README
+//! §Observability) and honour `TS3_METRICS_OUT`.
+
+use crate::metrics::{MetricsSnapshot, HIST_BOUNDS};
+use crate::trace::{EventRec, FieldValue, SpanRec};
+use ts3_json::Json;
+
+fn field_to_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::I64(v) => Json::Num(*v as f64),
+        FieldValue::U64(v) => Json::Num(*v as f64),
+        FieldValue::F64(v) => Json::Num(*v),
+        FieldValue::Bool(v) => Json::Bool(*v),
+        FieldValue::Str(v) => Json::Str((*v).to_string()),
+        FieldValue::Owned(v) => Json::Str(v.clone()),
+    }
+}
+
+fn fields_to_json(fields: &[(&'static str, FieldValue)]) -> Json {
+    Json::Obj(fields.iter().map(|(k, v)| (k.to_string(), field_to_json(v))).collect())
+}
+
+fn event_to_json(e: &EventRec) -> Json {
+    Json::obj([
+        ("name", Json::Str(e.name.to_string())),
+        ("at_us", Json::Num(e.at_ns as f64 / 1e3)),
+        ("fields", fields_to_json(&e.fields)),
+    ])
+}
+
+fn span_to_json(spans: &[SpanRec], events: &[EventRec], i: usize) -> Json {
+    let s = &spans[i];
+    let mut node = Json::obj([
+        ("name", Json::Str(s.name.to_string())),
+        ("start_us", Json::Num(s.start_ns as f64 / 1e3)),
+        ("dur_us", Json::Num(s.dur_ns as f64 / 1e3)),
+    ]);
+    if !s.fields.is_empty() {
+        node.insert("fields", fields_to_json(&s.fields));
+    }
+    let evs: Vec<Json> =
+        events.iter().filter(|e| e.parent == Some(s.id)).map(event_to_json).collect();
+    if !evs.is_empty() {
+        node.insert("events", Json::Arr(evs));
+    }
+    let children: Vec<Json> = (0..spans.len())
+        .filter(|&c| spans[c].parent == Some(s.id))
+        .map(|c| span_to_json(spans, events, c))
+        .collect();
+    if !children.is_empty() {
+        node.insert("children", Json::Arr(children));
+    }
+    node
+}
+
+/// Serialise recorded spans and events as a nested tree: an array of
+/// root spans (events embedded under their parent span) plus an
+/// `orphan_events` array for events fired outside any span.
+pub fn trace_to_json(spans: &[SpanRec], events: &[EventRec]) -> Json {
+    let mut spans: Vec<SpanRec> = spans.to_vec();
+    spans.sort_by_key(|s| s.id);
+    // A parent id that overflowed the collector cap leaves a dangling
+    // link; treat such spans as roots so nothing is silently lost.
+    let known: Vec<u64> = spans.iter().map(|s| s.id).collect();
+    for s in &mut spans {
+        if let Some(p) = s.parent {
+            if !known.contains(&p) {
+                s.parent = None;
+            }
+        }
+    }
+    let roots: Vec<Json> = (0..spans.len())
+        .filter(|&i| spans[i].parent.is_none())
+        .map(|i| span_to_json(&spans, events, i))
+        .collect();
+    let orphans: Vec<Json> =
+        events.iter().filter(|e| e.parent.is_none()).map(event_to_json).collect();
+    Json::obj([("spans", Json::Arr(roots)), ("orphan_events", Json::Arr(orphans))])
+}
+
+/// Serialise a metrics snapshot: counters and gauges as flat objects,
+/// histograms with count/sum and only their non-empty buckets (keyed by
+/// upper bound) so the dump stays readable.
+pub fn metrics_to_json(snap: &MetricsSnapshot) -> Json {
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(k, v)| (k.to_string(), Json::Num(*v as f64))).collect());
+    let gauges =
+        Json::Obj(snap.gauges.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))).collect());
+    let hists = Json::Obj(
+        snap.hists
+            .iter()
+            .map(|(k, h)| {
+                let buckets = Json::Obj(
+                    h.buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| {
+                            let key = if i < HIST_BOUNDS.len() {
+                                format!("le_{}", HIST_BOUNDS[i])
+                            } else {
+                                "overflow".to_string()
+                            };
+                            (key, Json::Num(c as f64))
+                        })
+                        .collect(),
+                );
+                (
+                    k.to_string(),
+                    Json::obj([
+                        ("count", Json::Num(h.count as f64)),
+                        ("sum", Json::Num(h.sum)),
+                        ("buckets", buckets),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("gauges", gauges), ("histograms", hists)])
+}
+
+/// One-call dump of everything the process has recorded: the span tree,
+/// the metrics registry and the dropped-record count.
+pub fn dump_json() -> Json {
+    let (spans, events, dropped) = crate::trace::snapshot_records();
+    Json::obj([
+        ("trace", trace_to_json(&spans, &events)),
+        ("metrics", metrics_to_json(&crate::metrics_snapshot())),
+        ("dropped_records", Json::Num(dropped as f64)),
+    ])
+}
+
+/// If `TS3_METRICS_OUT` is set, write the current metrics registry
+/// there as pretty JSON. Returns the path written.
+pub fn write_metrics_out() -> std::io::Result<Option<String>> {
+    let Some(path) = crate::gate::metrics_out() else { return Ok(None) };
+    let doc = metrics_to_json(&crate::metrics_snapshot());
+    std::fs::write(&path, doc.to_string_pretty())?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::test_lock;
+
+    #[test]
+    fn trace_and_metrics_round_trip_through_parser() {
+        let _g = test_lock();
+        crate::set_level(1);
+        crate::reset();
+        {
+            let mut s = crate::span("export.outer");
+            s.field("m", 4u64);
+            let _inner = crate::span("export.inner");
+            crate::event("tick", |f| {
+                f.set("loss", 0.25f64);
+                f.set("why", "test");
+            });
+        }
+        crate::counter_add("export.calls", 3);
+        crate::gauge_set("export.norm", 2.0);
+        crate::observe("export.dur", 0.01);
+        let doc = dump_json();
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).expect("dump parses");
+        let roots = parsed.get("trace").unwrap().get("spans").unwrap().as_array().unwrap();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].get("name").unwrap().as_str(), Some("export.outer"));
+        let children = roots[0].get("children").unwrap().as_array().unwrap();
+        assert_eq!(children[0].get("name").unwrap().as_str(), Some("export.inner"));
+        let events = children[0].get("events").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("tick"));
+        assert_eq!(
+            events[0].get("fields").unwrap().get("loss").unwrap().as_f64(),
+            Some(0.25)
+        );
+        let m = parsed.get("metrics").unwrap();
+        assert_eq!(m.get("counters").unwrap().get("export.calls").unwrap().as_usize(), Some(3));
+        assert_eq!(m.get("gauges").unwrap().get("export.norm").unwrap().as_f64(), Some(2.0));
+        let h = m.get("histograms").unwrap().get("export.dur").unwrap();
+        assert_eq!(h.get("count").unwrap().as_usize(), Some(1));
+        crate::set_level(0);
+        crate::reset();
+    }
+}

@@ -1,0 +1,75 @@
+//! # ts3-obs
+//!
+//! The workspace's observability substrate: structured tracing (nestable
+//! spans + key/value events collected in memory) and a metrics registry
+//! (counters, gauges, fixed-bucket histograms), with sinks for
+//! human-readable stderr and [`ts3_json`] export. It fills the role the
+//! `tracing` + `metrics` crates would play in a non-hermetic build, with
+//! zero external dependencies.
+//!
+//! ## Gating
+//!
+//! Everything hangs off one env-gated level, read once per process:
+//!
+//! * `TS3_TRACE=0` (and unset) — disabled. Every entry point degenerates
+//!   to a single relaxed atomic load; [`span`] returns an inert guard and
+//!   **allocates nothing** (covered by the `no_alloc_when_disabled`
+//!   test).
+//! * `TS3_TRACE=1` — spans, events and metrics are recorded in memory
+//!   for later export (the bench harness writes
+//!   `results/<stem>.trace.json`).
+//! * `TS3_TRACE=2` — as level 1, plus a live human-readable echo of
+//!   every completed span and event on stderr.
+//!
+//! `TS3_METRICS_OUT=<path>` additionally asks the process to dump the
+//! metrics registry as JSON to `<path>` (honoured by
+//! `ts3_bench::manifest` and by [`export::write_metrics_out`]).
+//!
+//! ## Determinism contract
+//!
+//! Counter values and the span *tree shape* (names + nesting + event
+//! names, not durations) are pure functions of the executed work, never
+//! of the thread count: instrumented kernels open their spans on the
+//! calling thread, and nothing increments a counter per worker block.
+//! `TS3_THREADS=1` and `TS3_THREADS=8` runs therefore produce identical
+//! dumps modulo timing fields — asserted by the cross-crate
+//! `trace_determinism` test in `ts3-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! ts3_obs::set_level(1);
+//! {
+//!     let mut s = ts3_obs::span("demo.outer");
+//!     s.field("answer", 42u64);
+//!     ts3_obs::event("demo.tick", |f| f.set("step", 1u64));
+//!     ts3_obs::counter_add("demo.ticks", 1);
+//! }
+//! assert_eq!(ts3_obs::tree_shape(), "demo.outer[demo.tick]");
+//! ts3_obs::reset();
+//! ts3_obs::set_level(0);
+//! ```
+
+pub mod export;
+pub mod gate;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{dump_json, metrics_to_json, trace_to_json};
+pub use gate::{enabled, explicitly_silent, level, metrics_out, set_level, verbose};
+pub use metrics::{
+    counter_add, gauge_set, metrics_snapshot, observe, reset_metrics, HistSnapshot,
+    MetricsSnapshot,
+};
+pub use trace::{
+    event, reset_trace, snapshot_records, span, tree_shape, EventRec, FieldValue, Fields, Span,
+    SpanRec,
+};
+
+/// Clear every recorded span, event and metric (the gate level is left
+/// untouched). Intended for tests and multi-run tools that want one
+/// dump per run.
+pub fn reset() {
+    reset_trace();
+    reset_metrics();
+}

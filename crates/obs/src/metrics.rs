@@ -1,0 +1,190 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms behind the same `TS3_TRACE` gate as tracing.
+//!
+//! All three families share one process-global registry (linear-probe
+//! `Vec`s under a mutex — the workspace registers tens of series, not
+//! thousands). Counters are monotone `u64` sums; gauges hold the last
+//! written value; histograms count observations into a fixed 1-2-5
+//! decade ladder so two runs bucket identically with no configuration.
+
+use crate::gate;
+use std::sync::{Mutex, OnceLock};
+
+/// Fixed histogram bucket upper bounds: a 1-2-5 ladder covering
+/// `1e-9 ..= 1e9` (units are whatever the caller observes — seconds,
+/// norms, ratios). Values above the last bound land in the overflow
+/// bucket at index `HIST_BOUNDS.len()`.
+pub const HIST_BOUNDS: [f64; 55] = [
+    1e-9, 2e-9, 5e-9, 1e-8, 2e-8, 5e-8, 1e-7, 2e-7, 5e-7, 1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1e0, 2e0, 5e0, 1e1,
+    2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7,
+    2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// One histogram: observation count, running sum, and per-bucket counts
+/// (length `HIST_BOUNDS.len() + 1`; the tail bucket is overflow).
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Per-bucket observation counts.
+    pub buckets: Vec<u64>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    hists: Vec<(&'static str, HistSnapshot)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Add `delta` to the counter `name` (created at zero on first use).
+/// No-op when tracing is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !gate::enabled() {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    match r.counters.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v += delta,
+        None => r.counters.push((name, delta)),
+    }
+}
+
+/// Set the gauge `name` to `value` (last write wins). No-op when
+/// tracing is disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !gate::enabled() {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    match r.gauges.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v = value,
+        None => r.gauges.push((name, value)),
+    }
+}
+
+/// Index of the 1-2-5 ladder bucket for `value` (overflow = last index).
+pub fn bucket_index(value: f64) -> usize {
+    HIST_BOUNDS.iter().position(|&b| value <= b).unwrap_or(HIST_BOUNDS.len())
+}
+
+/// Record `value` into the fixed-bucket histogram `name`. No-op when
+/// tracing is disabled; NaN observations are dropped.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !gate::enabled() || value.is_nan() {
+        return;
+    }
+    let idx = bucket_index(value);
+    let mut r = registry().lock().unwrap();
+    let hi = match r.hists.iter().position(|(k, _)| *k == name) {
+        Some(i) => i,
+        None => {
+            r.hists.push((
+                name,
+                HistSnapshot { count: 0, sum: 0.0, buckets: vec![0; HIST_BOUNDS.len() + 1] },
+            ));
+            r.hists.len() - 1
+        }
+    };
+    let hist = &mut r.hists[hi].1;
+    hist.count += 1;
+    hist.sum += value;
+    hist.buckets[idx] += 1;
+}
+
+/// A point-in-time copy of the registry, each family sorted by name so
+/// dumps diff cleanly and the determinism test can compare directly.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → accumulated value.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge name → last value.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histogram name → snapshot.
+    pub hists: Vec<(&'static str, HistSnapshot)>,
+}
+
+/// Snapshot the registry (sorted by name within each family).
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let r = registry().lock().unwrap();
+    let mut snap = MetricsSnapshot {
+        counters: r.counters.clone(),
+        gauges: r.gauges.clone(),
+        hists: r.hists.clone(),
+    };
+    snap.counters.sort_by_key(|(k, _)| *k);
+    snap.gauges.sort_by_key(|(k, _)| *k);
+    snap.hists.sort_by_key(|(k, _)| *k);
+    snap
+}
+
+/// Clear every counter, gauge and histogram.
+pub fn reset_metrics() {
+    let mut r = registry().lock().unwrap();
+    r.counters.clear();
+    r.gauges.clear();
+    r.hists.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::test_lock;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = test_lock();
+        crate::set_level(0);
+        reset_metrics();
+        counter_add("c", 5);
+        gauge_set("g", 1.0);
+        observe("h", 0.5);
+        let s = metrics_snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_metrics();
+        counter_add("b.calls", 2);
+        counter_add("a.calls", 1);
+        counter_add("b.calls", 3);
+        gauge_set("norm", 1.5);
+        gauge_set("norm", 0.5);
+        observe("dur", 0.003);
+        observe("dur", 0.03);
+        observe("dur", 1e12); // overflow bucket
+        let s = metrics_snapshot();
+        assert_eq!(s.counters, vec![("a.calls", 1), ("b.calls", 5)]);
+        assert_eq!(s.gauges, vec![("norm", 0.5)]);
+        let (_, h) = &s.hists[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[bucket_index(0.003)], 1);
+        assert_eq!(h.buckets[bucket_index(0.03)], 1);
+        assert_eq!(h.buckets[HIST_BOUNDS.len()], 1);
+        crate::set_level(0);
+        reset_metrics();
+    }
+
+    #[test]
+    fn bucket_index_ladder() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1e-9), 0);
+        assert_eq!(bucket_index(1.1e-9), 1);
+        assert_eq!(bucket_index(1.0), 27);
+        assert_eq!(bucket_index(2e9), HIST_BOUNDS.len());
+    }
+}

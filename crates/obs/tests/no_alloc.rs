@@ -1,0 +1,66 @@
+//! The disabled-path cost contract: with `TS3_TRACE=0`, opening and
+//! dropping spans, recording fields, emitting events and bumping
+//! counters must not allocate at all. A counting global allocator
+//! makes the claim checkable instead of aspirational.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn no_alloc_when_disabled() {
+    ts3_obs::set_level(0);
+    // Warm every lazily-initialised path (env parsing caches a string,
+    // the collector and registry exist behind OnceLocks) so the
+    // measured loop sees only steady-state behaviour.
+    assert!(!ts3_obs::enabled());
+    {
+        let mut s = ts3_obs::span("warm");
+        s.field("k", 1u64);
+    }
+    ts3_obs::event("warm", |f| f.set("k", 1u64));
+    ts3_obs::counter_add("warm", 1);
+    ts3_obs::gauge_set("warm", 0.0);
+    ts3_obs::observe("warm", 0.0);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        let mut s = ts3_obs::span("tensor.matmul");
+        s.field("m", 64u64);
+        s.field("flops", i);
+        ts3_obs::counter_add("tensor.matmul.flops", i);
+        ts3_obs::gauge_set("optim.grad_norm", 0.5);
+        ts3_obs::observe("optim.grad_norm", 0.5);
+        ts3_obs::event("epoch", |f| f.set("loss", 0.5f64));
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled spans/events/metrics must not allocate");
+
+    // And nothing was recorded either.
+    let (spans, events, dropped) = ts3_obs::snapshot_records();
+    assert!(spans.is_empty() && events.is_empty() && dropped == 0);
+    let m = ts3_obs::metrics_snapshot();
+    assert!(m.counters.is_empty() && m.gauges.is_empty() && m.hists.is_empty());
+}

@@ -172,9 +172,22 @@ impl CwtPlan {
         out
     }
 
+    /// Open a kernel span for one CWT entry point, tagged with the plan
+    /// geometry, and bump the per-entry call counter.
+    fn cwt_obs(&self, name: &'static str, counter: &'static str) -> ts3_obs::Span {
+        let mut s = ts3_obs::span(name);
+        if s.active() {
+            s.field("t_len", self.t_len);
+            s.field("lambda", self.lambda);
+            ts3_obs::counter_add(counter, 1);
+        }
+        s
+    }
+
     /// Forward CWT of a real signal: returns `(re, im)` each of length
     /// `lambda * T` (row i = sub-band i).
     pub fn forward_complex(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let _s = self.cwt_obs("signal.cwt.forward", "signal.cwt.forward.calls");
         let rows = self.apply_bank(x, &self.filt_fwd);
         let mut re = Vec::with_capacity(self.lambda * self.t_len);
         let mut im = Vec::with_capacity(self.lambda * self.t_len);
@@ -192,6 +205,7 @@ impl CwtPlan {
     /// of the input signal. Satisfies
     /// `<forward(x), (g_re, g_im)> == <x, adjoint(g_re, g_im)>`.
     pub fn adjoint(&self, g_re: &[f32], g_im: &[f32]) -> Vec<f32> {
+        let _s = self.cwt_obs("signal.cwt.adjoint", "signal.cwt.adjoint.calls");
         assert_eq!(g_re.len(), self.lambda * self.t_len);
         assert_eq!(g_im.len(), self.lambda * self.t_len);
         let mut out = vec![0.0f32; self.t_len];
@@ -231,6 +245,7 @@ impl CwtPlan {
     /// (Eq. 9's `IWT`): weighted sum across scales with calibrated
     /// admissibility constant.
     pub fn inverse(&self, w: &[f32]) -> Vec<f32> {
+        let _s = self.cwt_obs("signal.cwt.inverse", "signal.cwt.inverse.calls");
         self.inverse_raw(w, &self.recon)
     }
 

@@ -22,6 +22,13 @@ pub const DEFAULT_TREND_KERNELS: [usize; 3] = [13, 17, 25];
 pub fn trend_decompose(x: &Tensor, kernels: &[usize]) -> (Tensor, Tensor) {
     assert_eq!(x.rank(), 2, "trend_decompose expects [T, C]");
     assert!(!kernels.is_empty(), "trend_decompose needs at least one kernel");
+    let mut _s = ts3_obs::span("signal.trend_decompose");
+    if _s.active() {
+        _s.field("t", x.shape()[0]);
+        _s.field("c", x.shape()[1]);
+        _s.field("kernels", kernels.len());
+        ts3_obs::counter_add("signal.trend_decompose.calls", 1);
+    }
     let mut trend = Tensor::zeros_like(x);
     for &k in kernels {
         trend.add_assign(&moving_avg_same(x, 0, k));
@@ -37,6 +44,13 @@ pub fn trend_decompose(x: &Tensor, kernels: &[usize]) -> (Tensor, Tensor) {
 pub fn spectrum_gradient(tf: &Tensor, t_f: usize) -> Tensor {
     assert_eq!(tf.rank(), 2, "spectrum_gradient expects [lambda, T]");
     assert!(t_f >= 1, "sub-series length must be >= 1");
+    let mut _s = ts3_obs::span("signal.spectrum_gradient");
+    if _s.active() {
+        _s.field("lambda", tf.shape()[0]);
+        _s.field("t", tf.shape()[1]);
+        _s.field("t_f", t_f);
+        ts3_obs::counter_add("signal.spectrum_gradient.calls", 1);
+    }
     let (lambda, t) = (tf.shape()[0], tf.shape()[1]);
     let mut out = vec![0.0f32; lambda * t];
     let src = tf.as_slice();
@@ -144,6 +158,13 @@ impl Default for TripleConfig {
 pub fn triple_decompose(x: &Tensor, cfg: &TripleConfig) -> TripleDecomposition {
     assert_eq!(x.rank(), 2, "triple_decompose expects [T, C]");
     let (t, c) = (x.shape()[0], x.shape()[1]);
+    let mut _s = ts3_obs::span("signal.triple_decompose");
+    if _s.active() {
+        _s.field("t", t);
+        _s.field("c", c);
+        _s.field("lambda", cfg.lambda);
+        ts3_obs::counter_add("signal.triple_decompose.calls", 1);
+    }
     let (trend, seasonal) = trend_decompose(x, &cfg.trend_kernels);
     let t_f = cfg.t_f.unwrap_or_else(|| dominant_period(&seasonal)).clamp(2, t);
     let plan = CwtPlan::new(t, cfg.lambda, cfg.wavelet);

@@ -97,11 +97,27 @@ fn fft_bluestein(input: &[Complex32], inverse: bool) -> Vec<Complex32> {
     out
 }
 
+/// Observability for one public FFT entry: counters at level 1 (these
+/// calls are too hot for per-call spans), a span only at the verbose
+/// level.
+fn fft_obs(n: usize) -> Option<ts3_obs::Span> {
+    ts3_obs::counter_add("signal.fft.calls", 1);
+    ts3_obs::counter_add("signal.fft.points", n as u64);
+    if ts3_obs::verbose() {
+        let mut s = ts3_obs::span("signal.fft");
+        s.field("n", n);
+        Some(s)
+    } else {
+        None
+    }
+}
+
 /// Forward FFT of a complex sequence of **any** length.
 pub fn fft(input: &[Complex32]) -> Vec<Complex32> {
     if input.len() <= 1 {
         return input.to_vec();
     }
+    let _s = fft_obs(input.len());
     if input.len().is_power_of_two() {
         let mut buf = input.to_vec();
         fft_pow2(&mut buf, false);
@@ -116,6 +132,7 @@ pub fn ifft(input: &[Complex32]) -> Vec<Complex32> {
     if input.len() <= 1 {
         return input.to_vec();
     }
+    let _s = fft_obs(input.len());
     if input.len().is_power_of_two() {
         let mut buf = input.to_vec();
         fft_pow2(&mut buf, true);

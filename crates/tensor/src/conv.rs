@@ -119,6 +119,22 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, ph: usize, pw: usize) -> Tensor {
     assert!(h + 2 * ph >= kh && w + 2 * pw >= kw, "conv2d: kernel larger than padded input");
     let oh = h + 2 * ph + 1 - kh;
     let ow = w + 2 * pw + 1 - kw;
+    let mut _span = ts3_obs::span("tensor.conv2d");
+    if _span.active() {
+        let flops = 2 * b * cout * oh * ow * cin * kh * kw;
+        _span.field("b", b);
+        _span.field("cin", cin);
+        _span.field("cout", cout);
+        _span.field("kh", kh);
+        _span.field("kw", kw);
+        _span.field("flops", flops);
+        ts3_obs::counter_add("tensor.conv2d.calls", 1);
+        ts3_obs::counter_add("tensor.conv2d.flops", flops as u64);
+        ts3_obs::counter_add(
+            "tensor.conv2d.bytes",
+            (4 * (input.numel() + weight.numel() + b * cout * oh * ow)) as u64,
+        );
+    }
     let wmat = weight.reshape(&[cout, cin * kh * kw]);
     let sample = cout * oh * ow;
     let mut out = vec![0.0f32; b * sample];

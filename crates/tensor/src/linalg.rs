@@ -17,6 +17,29 @@ use crate::{Result, Tensor, TensorError};
 /// overhead beats the parallel win and the kernels stay serial.
 const PAR_GRAIN_FLOPS: usize = 1 << 15;
 
+/// Open the `tensor.matmul` kernel span and bump the flop/byte counters
+/// for a `[b,m,k] @ [.,k,n]` product (`b = 1` for the 2-D case,
+/// `shared_rhs` when the rhs is a single `[k,n]` block). All work is
+/// behind the span's own enabled check, so the disabled path costs one
+/// atomic load.
+fn matmul_span(b: usize, m: usize, k: usize, n: usize, shared_rhs: bool) -> ts3_obs::Span {
+    let mut s = ts3_obs::span("tensor.matmul");
+    if s.active() {
+        let flops = 2 * b * m * k * n;
+        let rhs_elems = if shared_rhs { k * n } else { b * k * n };
+        let bytes = 4 * (b * m * k + rhs_elems + b * m * n);
+        s.field("b", b);
+        s.field("m", m);
+        s.field("k", k);
+        s.field("n", n);
+        s.field("flops", flops);
+        ts3_obs::counter_add("tensor.matmul.calls", 1);
+        ts3_obs::counter_add("tensor.matmul.flops", flops as u64);
+        ts3_obs::counter_add("tensor.matmul.bytes", bytes as u64);
+    }
+    s
+}
+
 /// Multiply an `m x k` row-major block by a `k x n` block into `out`
 /// (`m x n`, pre-zeroed by the caller). Serial reference kernel; also
 /// the per-block worker of the parallel path.
@@ -70,6 +93,7 @@ impl Tensor {
                         op: "matmul",
                     });
                 }
+                let _s = matmul_span(1, m, k, n, true);
                 let mut out = vec![0.0f32; m * n];
                 matmul_block_par(&self.data, &rhs.data, &mut out, m, k, n);
                 Ok(Tensor { data: out, shape: vec![m, n] })
@@ -84,6 +108,7 @@ impl Tensor {
                         op: "matmul",
                     });
                 }
+                let _s = matmul_span(b, m, k, n, true);
                 // Shared rhs: `[b,m,k] @ [k,n]` is exactly the 2-D product
                 // `[b*m,k] @ [k,n]`, so the row-parallel kernel covers it.
                 let mut out = vec![0.0f32; b * m * n];
@@ -100,6 +125,7 @@ impl Tensor {
                         op: "matmul",
                     });
                 }
+                let _s = matmul_span(b, m, k, n, false);
                 let mut out = vec![0.0f32; b * m * n];
                 let sample = m * n;
                 if sample > 0 {

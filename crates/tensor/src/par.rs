@@ -35,19 +35,34 @@
 //! multi-millisecond kernels, and the last block runs on the calling
 //! thread so the single-thread path never spawns at all.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "not yet initialised from the environment".
+static CAP: AtomicUsize = AtomicUsize::new(0);
 
 /// Process-wide worker-count cap (see module docs for the policy).
 pub fn max_threads() -> usize {
-    static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        if let Ok(v) = std::env::var("TS3_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.clamp(1, 256);
-            }
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    })
+    let cap = CAP.load(Ordering::Relaxed);
+    if cap != 0 {
+        return cap;
+    }
+    let resolved = std::env::var("TS3_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 256))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    // Racing initialisers resolve the same value, so last-store-wins is
+    // harmless.
+    CAP.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Override the worker-count cap at runtime (clamped to `[1, 256]`).
+/// This exists for tests and calibration tools that compare thread
+/// counts within one process (e.g. the `trace_determinism` test);
+/// production code should configure `TS3_THREADS` instead.
+pub fn set_max_threads(n: usize) {
+    CAP.store(n.clamp(1, 256), Ordering::Relaxed);
 }
 
 /// Split `out` into contiguous blocks of whole `row_width`-sized rows
@@ -69,6 +84,18 @@ where
     assert_eq!(out.len() % row_width, 0, "par_rows_mut: ragged buffer");
     let rows = out.len() / row_width;
     let threads = max_threads().min(rows / grain.max(1)).max(1);
+    // Observability: one counter per dispatch (never per block, so the
+    // value is independent of the thread count), plus a span at the
+    // verbose level only — dispatches are far too hot for level 1.
+    ts3_obs::counter_add("tensor.par.dispatches", 1);
+    let _s = if ts3_obs::verbose() {
+        let mut s = ts3_obs::span("tensor.par.dispatch");
+        s.field("rows", rows);
+        s.field("threads", threads);
+        Some(s)
+    } else {
+        None
+    };
     par_rows_mut_in(threads, out, row_width, &worker);
 }
 

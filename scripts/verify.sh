@@ -7,21 +7,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 release build (offline) =="
+echo "== 1/5 release build (offline) =="
 cargo build --release --workspace --offline
 
-echo "== 2/4 test suite =="
+echo "== 2/5 test suite =="
 cargo test -q --workspace --offline
 
-echo "== 3/4 rustdoc (warnings are errors) =="
+echo "== 3/5 rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 4/4 dependency hermeticity =="
+echo "== 4/5 dependency hermeticity =="
 if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
     | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' | grep -v '^ts3' ; then
   echo "FAIL: non-workspace crate in the dependency tree" >&2
   exit 1
 fi
 echo "ok: dependency tree is ts3-* only"
+
+echo "== 5/5 observability smoke (TS3_TRACE=1 trace manifests) =="
+# table2 exercises the manifest plumbing without training; table4 on one
+# dataset exercises epoch events and instrumented kernels. trace_check
+# parses each manifest with ts3-json and asserts its contents.
+TS3_TRACE=1 ./target/release/table2 --smoke > /dev/null
+./target/release/trace_check results/table2_smoke.trace.json
+TS3_TRACE=1 ./target/release/table4 --smoke ETTh1 > /dev/null 2>&1
+./target/release/trace_check results/table4_smoke.trace.json \
+  --require-epoch --require-kernel-span
+echo "ok: trace manifests parse and carry epoch events + kernel spans"
 
 echo "verify: all gates passed"
