@@ -30,12 +30,12 @@ impl Var {
                 for bi in 0..b {
                     let gy = g.index_axis(0, bi).reshape(&[cout, oh * ow]);
                     // Input gradient: fold W^T . gy back through col2im.
-                    let gcols = wmat.transpose().matmul(&gy);
+                    let gcols = wmat.matmul_ta(&gy);
                     let gxb = col2im(&gcols, cin, h, wd, kh, kw, ph, pw);
                     gx.assign_narrow(0, bi, &gxb.reshape(&[1, cin, h, wd]));
                     // Weight gradient: gy . cols^T (cols recomputed).
                     let cols = im2col(&x.index_axis(0, bi), kh, kw, ph, pw);
-                    gw_mat.add_assign(&gy.matmul(&cols.transpose()));
+                    gw_mat.add_assign(&gy.matmul_tb(&cols));
                 }
                 vec![Some(gx), Some(gw_mat.reshape(&[cout, cin, kh, kw]))]
             }),

@@ -14,28 +14,67 @@ impl Var {
             Box::new(|g, parents| {
                 let a = parents[0].value();
                 let b = parents[1].value();
+                // The transposed GEMM entry points (`matmul_tb`/`matmul_ta`)
+                // consume A/B through strided views, so no transpose is
+                // ever materialised on the backward path.
                 match (a.rank(), b.rank()) {
                     (2, 2) => {
-                        let ga = g.matmul(&b.transpose());
-                        let gb = a.transpose().matmul(g);
+                        let ga = g.matmul_tb(b); // G @ Bᵀ
+                        let gb = a.matmul_ta(g); // Aᵀ @ G
                         vec![Some(ga), Some(gb)]
                     }
                     (3, 2) => {
                         // A: [bt,m,k], B: [k,n], G: [bt,m,n]
-                        let ga = g.matmul(&b.transpose()); // [bt,m,k]
+                        let ga = g.matmul_tb(b); // [bt,m,k]
                         let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
                         let n = b.shape()[1];
                         let a2 = a.reshape(&[bt * m, k]);
                         let g2 = g.reshape(&[bt * m, n]);
-                        let gb = a2.transpose().matmul(&g2); // [k,n]
+                        let gb = a2.matmul_ta(&g2); // [k,n]
                         vec![Some(ga), Some(gb)]
                     }
                     (3, 3) => {
-                        let ga = g.matmul(&b.transpose()); // batched
-                        let gb = a.transpose().matmul(g); // batched
+                        let ga = g.matmul_tb(b); // batched G @ Bᵀ
+                        let gb = a.matmul_ta(g); // batched Aᵀ @ G
                         vec![Some(ga), Some(gb)]
                     }
                     (ra, rb) => panic!("matmul backward: unsupported ranks {ra}/{rb}"),
+                }
+            }),
+        )
+    }
+
+    /// `self @ rhsᵀ` without materialising the transpose, forward or
+    /// backward; see [`ts3_tensor::Tensor::try_matmul_tb`] for the
+    /// supported rank combinations. Bit-identical to
+    /// `self.matmul(&rhs.transpose())` with a cheaper graph (no
+    /// transpose node, strided GEMM views in both directions).
+    pub fn matmul_tb(&self, rhs: &Var) -> Var {
+        let value = self.value().matmul_tb(rhs.value());
+        Var::node(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(|g, parents| {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                // y = A @ Bᵀ  =>  dA = G @ B, dB = Gᵀ @ A.
+                match (a.rank(), b.rank()) {
+                    (2, 2) | (3, 3) => {
+                        let ga = g.matmul(b);
+                        let gb = g.matmul_ta(a);
+                        vec![Some(ga), Some(gb)]
+                    }
+                    (3, 2) => {
+                        // A: [bt,m,k], B: [n,k], G: [bt,m,n]
+                        let ga = g.matmul(b); // [bt,m,k]
+                        let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                        let n = b.shape()[0];
+                        let g2 = g.reshape(&[bt * m, n]);
+                        let a2 = a.reshape(&[bt * m, k]);
+                        let gb = g2.matmul_ta(&a2); // [n,k]
+                        vec![Some(ga), Some(gb)]
+                    }
+                    (ra, rb) => panic!("matmul_tb backward: unsupported ranks {ra}/{rb}"),
                 }
             }),
         )
@@ -86,6 +125,40 @@ mod tests {
         y.sum().backward();
         assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 0.0, 0.0, 2.0]);
         assert_eq!(b.grad().unwrap().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_tb_grads_match_explicit_transpose() {
+        // y = A @ Bᵀ via the fused op must give the same value and
+        // parent gradients as the materialised-transpose formulation.
+        let av: Vec<f32> = (0..12).map(|v| (v as f32 * 0.7).sin()).collect();
+        let bv: Vec<f32> = (0..8).map(|v| (v as f32 * 0.3).cos()).collect();
+        let a1 = leaf(av.clone(), &[3, 4]);
+        let b1 = leaf(bv.clone(), &[2, 4]);
+        let y1 = a1.matmul_tb(&b1);
+        y1.sum().backward();
+        let a2 = leaf(av, &[3, 4]);
+        let b2 = leaf(bv, &[2, 4]);
+        let y2 = a2.matmul(&b2.transpose());
+        y2.sum().backward();
+        assert_eq!(y1.value().as_slice(), y2.value().as_slice());
+        assert_eq!(a1.grad().unwrap().as_slice(), a2.grad().unwrap().as_slice());
+        assert_eq!(b1.grad().unwrap().as_slice(), b2.grad().unwrap().as_slice());
+
+        // Batched (3,3) arm, as used by attention scores.
+        let qv: Vec<f32> = (0..24).map(|v| (v as f32 * 0.11).sin()).collect();
+        let kv: Vec<f32> = (0..30).map(|v| (v as f32 * 0.17).cos()).collect();
+        let q1 = leaf(qv.clone(), &[2, 4, 3]);
+        let k1 = leaf(kv.clone(), &[2, 5, 3]);
+        let s1 = q1.matmul_tb(&k1);
+        s1.sum().backward();
+        let q2 = leaf(qv, &[2, 4, 3]);
+        let k2 = leaf(kv, &[2, 5, 3]);
+        let s2 = q2.matmul(&k2.transpose());
+        s2.sum().backward();
+        assert_eq!(s1.value().as_slice(), s2.value().as_slice());
+        assert_eq!(q1.grad().unwrap().as_slice(), q2.grad().unwrap().as_slice());
+        assert_eq!(k1.grad().unwrap().as_slice(), k2.grad().unwrap().as_slice());
     }
 
     #[test]

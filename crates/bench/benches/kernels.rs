@@ -3,17 +3,33 @@
 //! blocks whose cost dominates every table run.
 //!
 //! Run with: `cargo bench -p ts3-bench --features bench-harness`
-//! (off by default so plain `cargo test` never builds these).
+//! (off by default so plain `cargo test` never builds these), or via
+//! `scripts/bench.sh` which also persists the JSON mirror.
+//!
+//! Knobs (beyond the harness's own `TS3_BENCH_MS`):
+//!
+//! * `TS3_BENCH_SMOKE=1` — run the reduced CI subset only. Labels are
+//!   byte-identical to the full run's so `bench_compare` can match the
+//!   committed smoke baseline (`results/BENCH_kernels_smoke.json`).
+//! * `TS3_BENCH_OUT=<path>` — write the JSON mirror there instead of
+//!   `<workspace>/BENCH_kernels.json`.
 
 use ts3_bench::timing::{black_box, Harness};
+use ts3_bench::RunProfile;
 use ts3_signal::complex::Complex32;
 use ts3_signal::decompose::{spectrum_gradient, trend_decompose, DEFAULT_TREND_KERNELS};
 use ts3_signal::fft::fft;
 use ts3_signal::{CwtPlan, WaveletKind};
 use ts3_tensor::{conv2d, Tensor};
 
+/// Reduced-subset switch for the `verify.sh` bench gate.
+fn smoke() -> bool {
+    std::env::var("TS3_BENCH_SMOKE").is_ok_and(|v| v.trim() == "1")
+}
+
 fn bench_fft(h: &mut Harness) {
-    for n in [96usize, 256, 1024] {
+    let sizes: &[usize] = if smoke() { &[96, 256] } else { &[96, 256, 1024] };
+    for &n in sizes {
         let x: Vec<Complex32> = (0..n)
             .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
             .collect();
@@ -23,11 +39,15 @@ fn bench_fft(h: &mut Harness) {
 
 fn bench_cwt(h: &mut Harness) {
     let x: Vec<f32> = (0..96).map(|i| (i as f32 * 0.3).sin()).collect();
-    for lambda in [8usize, 16, 32] {
+    let lambdas: &[usize] = if smoke() { &[16] } else { &[8, 16, 32] };
+    for &lambda in lambdas {
         let plan = CwtPlan::new(96, lambda, WaveletKind::ComplexGaussian);
         h.bench(&format!("cwt/forward_amp/{lambda}"), || {
             plan.amplitude(black_box(&x))
         });
+    }
+    if smoke() {
+        return;
     }
     let plan = CwtPlan::new(96, 16, WaveletKind::ComplexGaussian);
     let w: Vec<f32> = (0..16 * 96).map(|i| (i as f32 * 0.01).sin()).collect();
@@ -40,7 +60,8 @@ fn bench_cwt(h: &mut Harness) {
 }
 
 fn bench_matmul(h: &mut Harness) {
-    for n in [32usize, 64, 128] {
+    let sizes: &[usize] = if smoke() { &[32, 64] } else { &[32, 64, 128] };
+    for &n in sizes {
         let a = Tensor::randn(&[n, n], 1);
         let b_t = Tensor::randn(&[n, n], 2);
         h.bench(&format!("matmul/{n}"), || a.matmul(black_box(&b_t)));
@@ -50,7 +71,8 @@ fn bench_matmul(h: &mut Harness) {
 fn bench_conv2d(h: &mut Harness) {
     // The TF-Block's inception shape: [B=8, C=8, lambda=8, T=96].
     let x = Tensor::randn(&[8, 8, 8, 96], 3);
-    for k in [1usize, 3, 5] {
+    let kernels: &[usize] = if smoke() { &[3] } else { &[1, 3, 5] };
+    for &k in kernels {
         let w = Tensor::randn(&[8, 8, k, k], 4);
         h.bench(&format!("conv2d/{k}"), || {
             conv2d(black_box(&x), black_box(&w), k / 2, k / 2)
@@ -76,12 +98,28 @@ fn main() {
     bench_matmul(&mut h);
     bench_conv2d(&mut h);
     bench_decomposition(&mut h);
-    // Machine-readable mirror at the workspace root (op, shape, median
-    // ns + IQR, thread cap) for regression tracking across commits.
-    let path = ts3_bench::workspace_root().join("BENCH_kernels.json");
+    // Machine-readable mirror (op, shape, median ns + IQR, thread cap)
+    // for regression tracking across commits via `bench_compare`.
+    let path = match std::env::var_os("TS3_BENCH_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => ts3_bench::workspace_root().join("BENCH_kernels.json"),
+    };
     match h.write_json(&path) {
         Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("BENCH_kernels.json write failed: {e}"),
+        Err(e) => eprintln!("bench JSON write failed: {e}"),
+    }
+    // Under TS3_TRACE>=1 the instrumented kernels have been recording
+    // spans/counters the whole run; persist the ts3.trace.v1 manifest
+    // next to the table-run ones so bench runs are auditable too.
+    let profile = RunProfile {
+        name: "bench",
+        ..RunProfile::smoke()
+    };
+    let stem = if smoke() { "BENCH_kernels_smoke" } else { "BENCH_kernels" };
+    match ts3_bench::write_trace_manifest(stem, &profile) {
+        Ok(Some(p)) => println!("wrote {}", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace manifest write failed: {e}"),
     }
     h.finish();
 }

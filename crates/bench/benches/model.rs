@@ -62,10 +62,22 @@ fn main() {
     let mut h = Harness::new();
     bench_models(&mut h);
     bench_triple_decomposition(&mut h);
-    let path = ts3_bench::workspace_root().join("BENCH_model.json");
+    let path = match std::env::var_os("TS3_BENCH_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => ts3_bench::workspace_root().join("BENCH_model.json"),
+    };
     match h.write_json(&path) {
         Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("BENCH_model.json write failed: {e}"),
+        Err(e) => eprintln!("bench JSON write failed: {e}"),
+    }
+    let profile = ts3_bench::RunProfile {
+        name: "bench",
+        ..ts3_bench::RunProfile::smoke()
+    };
+    match ts3_bench::write_trace_manifest("BENCH_model", &profile) {
+        Ok(Some(p)) => println!("wrote {}", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace manifest write failed: {e}"),
     }
     h.finish();
 }

@@ -1,0 +1,165 @@
+//! Compare two `ts3.bench.v1` JSON files and fail on regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--threshold PCT]
+//! ```
+//!
+//! Entries are matched by their `(op, shape)` pair. For each pair the
+//! tool prints the baseline median, the current median and the speedup
+//! factor (`baseline / current`, so >1.0 is faster). The run **fails**
+//! (exit 1) when either
+//!
+//! * any matched kernel's current median exceeds the baseline median by
+//!   more than `--threshold` percent (default 10), or
+//! * a baseline entry is missing from the current file — silently
+//!   losing coverage must not read as "no regression".
+//!
+//! Entries only present in the current file are reported but never
+//! fail the run (new benchmarks have no baseline yet).
+//!
+//! Medians are wall-clock and therefore machine-specific: only compare
+//! files produced on the same host and target CPU (see
+//! `.cargo/config.toml`). `scripts/verify.sh` runs this against the
+//! committed smoke baseline with a generous threshold; use the default
+//! threshold for full-budget runs (`scripts/bench.sh`).
+
+use std::process::ExitCode;
+use ts3_json::Json;
+
+struct Entry {
+    op: String,
+    shape: String,
+    median_ns: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: parse error: {e:?}"))?;
+    let schema = doc.get("schema").and_then(|s| s.as_str());
+    if schema != Some("ts3.bench.v1") {
+        return Err(format!("{path}: schema is {schema:?}, expected ts3.bench.v1"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("{path}: missing entries array"))?;
+    entries
+        .iter()
+        .map(|e| {
+            let field = |k: &str| {
+                e.get(k)
+                    .ok_or_else(|| format!("{path}: entry missing {k}"))
+            };
+            Ok(Entry {
+                op: field("op")?.as_str().unwrap_or_default().to_string(),
+                shape: field("shape")?.as_str().unwrap_or_default().to_string(),
+                median_ns: field("median_ns")?
+                    .as_f64()
+                    .ok_or_else(|| format!("{path}: median_ns is not a number"))?,
+            })
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold PCT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => threshold_pct = v,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            p if !p.starts_with('-') => paths.push(p),
+            _ => return usage(),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return usage();
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_compare: {current_path} vs baseline {baseline_path} (threshold +{threshold_pct:.0}%)"
+    );
+    println!(
+        "{:<40} {:>12} {:>12} {:>9}  verdict",
+        "op/shape", "baseline", "current", "speedup"
+    );
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for b in &baseline {
+        let label = if b.shape.is_empty() {
+            b.op.clone()
+        } else {
+            format!("{}/{}", b.op, b.shape)
+        };
+        let Some(c) = current
+            .iter()
+            .find(|c| c.op == b.op && c.shape == b.shape)
+        else {
+            println!("{label:<40} {:>12} {:>12} {:>9}  MISSING", fmt_ns(b.median_ns), "-", "-");
+            missing += 1;
+            continue;
+        };
+        let speedup = b.median_ns / c.median_ns;
+        let regressed = c.median_ns > b.median_ns * (1.0 + threshold_pct / 100.0);
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{label:<40} {:>12} {:>12} {:>8.2}x  {verdict}",
+            fmt_ns(b.median_ns),
+            fmt_ns(c.median_ns),
+            speedup
+        );
+        if regressed {
+            regressions += 1;
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.op == c.op && b.shape == c.shape) {
+            let label = if c.shape.is_empty() {
+                c.op.clone()
+            } else {
+                format!("{}/{}", c.op, c.shape)
+            };
+            println!("{label:<40} {:>12} {:>12} {:>9}  new (no baseline)", "-", fmt_ns(c.median_ns), "-");
+        }
+    }
+    if regressions > 0 || missing > 0 {
+        eprintln!(
+            "bench_compare: FAIL — {regressions} regression(s) beyond +{threshold_pct:.0}%, {missing} baseline entr{} missing from current run",
+            if missing == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_compare: ok — no kernel regressed beyond +{threshold_pct:.0}%");
+    ExitCode::SUCCESS
+}

@@ -81,7 +81,7 @@ impl MultiHeadAttention {
         let k = split(&self.wk.forward(mem, ctx), lk);
         let v = split(&self.wv.forward(mem, ctx), lk);
         let scale = 1.0 / (dh as f32).sqrt();
-        let scores = q.matmul(&k.transpose()).mul_scalar(scale); // [B*h, Lq, Lk]
+        let scores = q.matmul_tb(&k).mul_scalar(scale); // [B*h, Lq, Lk]
         let scores = self.mask_scores(scores, lq, lk);
         let attn = scores.softmax_last();
         let attn = self.drop.forward(&attn, ctx);

@@ -24,6 +24,10 @@
 //! `TS3_METRICS_OUT=<path>` additionally asks the process to dump the
 //! metrics registry as JSON to `<path>` (honoured by
 //! `ts3_bench::manifest` and by [`export::write_metrics_out`]).
+//! `TS3_TRACE_MAX_SPANS=<n>` lowers the stored-span cap (default
+//! [`trace::MAX_SPANS`]) so long runs — benchmark loops in particular —
+//! produce compact manifests; overflow is counted in `dropped_records`,
+//! never silently lost.
 //!
 //! ## Determinism contract
 //!
@@ -34,6 +38,14 @@
 //! `TS3_THREADS=1` and `TS3_THREADS=8` runs therefore produce identical
 //! dumps modulo timing fields — asserted by the cross-crate
 //! `trace_determinism` test in `ts3-bench`.
+//!
+//! **Exception — `.sched.` counters.** Counters with a `.sched.` name
+//! segment (`tensor.par.sched.*`, `signal.fft.sched.plans_built`)
+//! record *scheduling and caching* decisions — pool dispatch vs. inline
+//! runs, plan-cache builds — which legitimately depend on the thread
+//! cap and on process history. Determinism comparisons must exclude
+//! them (the `trace_determinism` test filters on the `.sched.`
+//! substring); everything else remains thread-count-invariant.
 //!
 //! ## Example
 //!

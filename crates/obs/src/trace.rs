@@ -15,10 +15,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Hard cap on stored span records (overflow is counted in `dropped`).
+/// Default hard cap on stored span records (overflow is counted in
+/// `dropped`). Override with `TS3_TRACE_MAX_SPANS` — benchmark runs set
+/// it low so their committed `ts3.trace.v1` manifests stay a few
+/// hundred KB instead of dumping 100k near-identical kernel spans.
 pub const MAX_SPANS: usize = 100_000;
 /// Hard cap on stored event records.
 pub const MAX_EVENTS: usize = 100_000;
+
+/// Effective span cap: `TS3_TRACE_MAX_SPANS` if set, else [`MAX_SPANS`].
+/// Read once per process — changing the env var later has no effect.
+pub(crate) fn max_spans() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("TS3_TRACE_MAX_SPANS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(MAX_SPANS)
+    })
+}
 
 /// A typed key/value payload attached to spans and events.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,7 +235,7 @@ impl Drop for Span {
             eprintln!("[ts3 span] {} {:.3}ms{}", rec.name, dur_ns as f64 / 1e6, fields);
         }
         let mut c = collector().lock().unwrap();
-        if c.spans.len() < MAX_SPANS {
+        if c.spans.len() < max_spans() {
             c.spans.push(rec);
         } else {
             c.dropped += 1;

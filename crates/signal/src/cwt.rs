@@ -6,11 +6,27 @@
 //! transformed once, every scale is a pointwise product with a precomputed
 //! filter spectrum plus one inverse FFT. Complexity `O(lambda * T log T)`
 //! per channel.
+//!
+//! The plan holds the cached [`crate::fft::Plan`] for its FFT length and
+//! runs every scale through two reusable per-thread scratch buffers, so
+//! a warm `forward_complex`/`adjoint` call performs no per-scale
+//! allocation and no per-call twiddle recomputation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
 
 use crate::complex::Complex32;
-use crate::fft::{fft_pow2_inplace, next_pow2};
+use crate::fft::{next_pow2, plan_for, Plan};
 use crate::wavelet::{sample_wavelet, scale_set, WaveletKind};
 use ts3_tensor::Tensor;
+
+thread_local! {
+    /// Per-thread `(signal spectrum, per-scale product)` scratch shared
+    /// by all CWT plans on this thread; every element is overwritten
+    /// before use, so reuse across plans/calls cannot leak state.
+    static CWT_SCRATCH: RefCell<(Vec<Complex32>, Vec<Complex32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Precomputed CWT plan for a fixed `(series length, lambda, wavelet)`.
 pub struct CwtPlan {
@@ -34,6 +50,9 @@ pub struct CwtPlan {
     /// Reconstruction weights for the inverse transform, including the
     /// empirically calibrated admissibility constant.
     recon: Vec<f32>,
+    /// Cached FFT plan for `fft_len` (shared with every other user of
+    /// that size through [`plan_for`]).
+    fft: Arc<Plan>,
 }
 
 impl CwtPlan {
@@ -52,6 +71,7 @@ impl CwtPlan {
             taps_all.push(taps);
         }
         let fft_len = next_pow2(t_len + 2 * n_max + 1);
+        let fft = plan_for(fft_len);
         let mut filt_fwd = Vec::with_capacity(lambda);
         let mut filt_adj = Vec::with_capacity(lambda);
         for taps in &taps_all {
@@ -63,7 +83,7 @@ impl CwtPlan {
             for (j, &v) in c.iter().rev().enumerate() {
                 rev[j] = v;
             }
-            fft_pow2_inplace(&mut rev, false);
+            fft.fft_inplace(&mut rev, false);
             filt_fwd.push(rev);
             // Adjoint: out[k] = Re( linconv(g_re + i g_im, conj(c))[k+N] ),
             // and conj(c) is the original (unconjugated) wavelet taps.
@@ -71,7 +91,7 @@ impl CwtPlan {
             for (j, &v) in taps.iter().enumerate() {
                 fwd[j] = v;
             }
-            fft_pow2_inplace(&mut fwd, false);
+            fft.fft_inplace(&mut fwd, false);
             filt_adj.push(fwd);
         }
         // Inverse-transform weights: delta-s_i / s_i^{3/2}, then calibrate
@@ -97,6 +117,7 @@ impl CwtPlan {
             filt_fwd,
             filt_adj,
             recon: recon.clone(),
+            fft,
         };
         let c = plan.calibrate_reconstruction();
         for w in recon.iter_mut() {
@@ -148,28 +169,42 @@ impl CwtPlan {
         self.scales.iter().map(|&s| f_c / s).collect()
     }
 
-    /// Run one filter bank over a real signal. `bank` selects forward
-    /// (correlation) or adjoint (convolution) orientation.
-    fn apply_bank(&self, x: &[f32], bank: &[Vec<Complex32>]) -> Vec<Vec<Complex32>> {
+    /// Run one filter bank over a real signal, handing each scale's
+    /// "same"-aligned output row to `sink(scale, row)`. The signal
+    /// spectrum is computed once and every scale reuses one per-thread
+    /// product buffer — a warm call allocates nothing.
+    fn apply_bank_into(
+        &self,
+        x: &[f32],
+        bank: &[Vec<Complex32>],
+        mut sink: impl FnMut(usize, &[Complex32]),
+    ) {
         assert_eq!(x.len(), self.t_len, "apply_bank: signal length mismatch");
-        let mut spec = vec![Complex32::ZERO; self.fft_len];
-        for (dst, &v) in spec.iter_mut().zip(x) {
-            *dst = Complex32::from_real(v);
-        }
-        fft_pow2_inplace(&mut spec, false);
-        let mut out = Vec::with_capacity(self.lambda);
-        for (i, filt) in bank.iter().enumerate() {
-            let mut prod: Vec<Complex32> =
-                spec.iter().zip(filt).map(|(&a, &b)| a * b).collect();
-            fft_pow2_inplace(&mut prod, true);
-            // The taps occupy 2N+1 slots; "same" alignment starts at N.
-            let n = self.half[i];
-            // For the reversed filter the peak is at index 2N - N = N as
-            // well (taps are symmetric in length), so both orientations
-            // share the offset.
-            out.push(prod[n..n + self.t_len].to_vec());
-        }
-        out
+        CWT_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (spec, prod) = &mut *scratch;
+            spec.clear();
+            spec.resize(self.fft_len, Complex32::ZERO);
+            for (dst, &v) in spec.iter_mut().zip(x) {
+                *dst = Complex32::from_real(v);
+            }
+            self.fft.fft_inplace(spec, false);
+            prod.resize(self.fft_len, Complex32::ZERO);
+            for (i, filt) in bank.iter().enumerate() {
+                // Every element of `prod` is overwritten before the
+                // transform, so the buffer reuse cannot leak state.
+                for ((dst, &a), &b) in prod.iter_mut().zip(spec.iter()).zip(filt) {
+                    *dst = a * b;
+                }
+                self.fft.fft_inplace(prod, true);
+                // The taps occupy 2N+1 slots; "same" alignment starts at N.
+                let n = self.half[i];
+                // For the reversed filter the peak is at index 2N - N = N as
+                // well (taps are symmetric in length), so both orientations
+                // share the offset.
+                sink(i, &prod[n..n + self.t_len]);
+            }
+        });
     }
 
     /// Open a kernel span for one CWT entry point, tagged with the plan
@@ -188,15 +223,14 @@ impl CwtPlan {
     /// `lambda * T` (row i = sub-band i).
     pub fn forward_complex(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         let _s = self.cwt_obs("signal.cwt.forward", "signal.cwt.forward.calls");
-        let rows = self.apply_bank(x, &self.filt_fwd);
         let mut re = Vec::with_capacity(self.lambda * self.t_len);
         let mut im = Vec::with_capacity(self.lambda * self.t_len);
-        for row in rows {
+        self.apply_bank_into(x, &self.filt_fwd, |_, row| {
             for z in row {
                 re.push(z.re);
                 im.push(z.im);
             }
-        }
+        });
         (re, im)
     }
 
@@ -209,28 +243,33 @@ impl CwtPlan {
         assert_eq!(g_re.len(), self.lambda * self.t_len);
         assert_eq!(g_im.len(), self.lambda * self.t_len);
         let mut out = vec![0.0f32; self.t_len];
-        for i in 0..self.lambda {
-            // Forward was y_re = corr(x, Re c), y_im = corr(x, Im c) with
-            // c = conj(psi), so the adjoint is
-            //   out[k] = sum_b g_re[b] Re(c[k-b+N]) + g_im[b] Im(c[k-b+N])
-            //          = Re( linconv(g_re + i g_im, conj(c))[k + N] )
-            // and conj(c) = psi, whose causal-tap FFT is `filt_adj`.
-            let row_re = &g_re[i * self.t_len..(i + 1) * self.t_len];
-            let row_im = &g_im[i * self.t_len..(i + 1) * self.t_len];
-            let mut spec = vec![Complex32::ZERO; self.fft_len];
-            for (dst, (&a, &b)) in spec.iter_mut().zip(row_re.iter().zip(row_im)) {
-                *dst = Complex32::new(a, b);
+        CWT_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (spec, _) = &mut *scratch;
+            for i in 0..self.lambda {
+                // Forward was y_re = corr(x, Re c), y_im = corr(x, Im c) with
+                // c = conj(psi), so the adjoint is
+                //   out[k] = sum_b g_re[b] Re(c[k-b+N]) + g_im[b] Im(c[k-b+N])
+                //          = Re( linconv(g_re + i g_im, conj(c))[k + N] )
+                // and conj(c) = psi, whose causal-tap FFT is `filt_adj`.
+                let row_re = &g_re[i * self.t_len..(i + 1) * self.t_len];
+                let row_im = &g_im[i * self.t_len..(i + 1) * self.t_len];
+                spec.clear();
+                spec.resize(self.fft_len, Complex32::ZERO);
+                for (dst, (&a, &b)) in spec.iter_mut().zip(row_re.iter().zip(row_im)) {
+                    *dst = Complex32::new(a, b);
+                }
+                self.fft.fft_inplace(spec, false);
+                for (a, &b) in spec.iter_mut().zip(&self.filt_adj[i]) {
+                    *a *= b;
+                }
+                self.fft.fft_inplace(spec, true);
+                let n = self.half[i];
+                for (k, dst) in out.iter_mut().enumerate() {
+                    *dst += spec[k + n].re;
+                }
             }
-            fft_pow2_inplace(&mut spec, false);
-            for (a, &b) in spec.iter_mut().zip(&self.filt_adj[i]) {
-                *a *= b;
-            }
-            fft_pow2_inplace(&mut spec, true);
-            let n = self.half[i];
-            for (k, dst) in out.iter_mut().enumerate() {
-                *dst += spec[k + n].re;
-            }
-        }
+        });
         out
     }
 
@@ -251,12 +290,25 @@ impl CwtPlan {
 
     fn inverse_raw(&self, w: &[f32], weights: &[f32]) -> Vec<f32> {
         assert_eq!(w.len(), self.lambda * self.t_len, "inverse: coefficient grid mismatch");
+        // Fixed-width array views + `mul_add`, the workspace's reliable
+        // vectorisation idiom (see crates/signal/src/fft.rs): one fused
+        // multiply-add per accumulation step, packed lanes guaranteed.
+        const LANES: usize = 16;
         let mut out = vec![0.0f32; self.t_len];
         for i in 0..self.lambda {
             let wi = weights[i];
             let row = &w[i * self.t_len..(i + 1) * self.t_len];
-            for (dst, &v) in out.iter_mut().zip(row) {
-                *dst += wi * v;
+            let mut j = 0;
+            while j + LANES <= self.t_len {
+                let d: &mut [f32; LANES] = (&mut out[j..j + LANES]).try_into().unwrap();
+                let s: &[f32; LANES] = (&row[j..j + LANES]).try_into().unwrap();
+                for l in 0..LANES {
+                    d[l] = s[l].mul_add(wi, d[l]);
+                }
+                j += LANES;
+            }
+            for (dst, &v) in out[j..].iter_mut().zip(&row[j..]) {
+                *dst = v.mul_add(wi, *dst);
             }
         }
         out
@@ -298,6 +350,28 @@ mod tests {
         assert_eq!(amp.shape(), &[8, 96]);
         assert!(amp.all_finite());
         assert!(amp.max() > 0.0);
+    }
+
+    #[test]
+    fn warm_calls_are_byte_identical() {
+        // Scratch/plan reuse must not perturb results: repeated forward
+        // and adjoint calls on a warm plan return identical bytes, and
+        // a second plan of the same geometry agrees with the first.
+        let plan = CwtPlan::new(96, 8, WaveletKind::ComplexGaussian);
+        let x = sinusoid(96, 18.0);
+        let g: Vec<f32> = (0..8 * 96).map(|i| ((i * 11 + 3) as f32 * 0.07).sin()).collect();
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        let (re0, im0) = plan.forward_complex(&x);
+        let adj0 = plan.adjoint(&g, &g);
+        for _ in 0..3 {
+            let (re, im) = plan.forward_complex(&x);
+            assert_eq!(bits(&re0), bits(&re));
+            assert_eq!(bits(&im0), bits(&im));
+            assert_eq!(bits(&adj0), bits(&plan.adjoint(&g, &g)));
+        }
+        let plan2 = CwtPlan::new(96, 8, WaveletKind::ComplexGaussian);
+        let (re2, _) = plan2.forward_complex(&x);
+        assert_eq!(bits(&re0), bits(&re2));
     }
 
     #[test]

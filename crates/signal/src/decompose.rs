@@ -61,15 +61,22 @@ pub fn spectrum_gradient(tf: &Tensor, t_f: usize) -> Tensor {
         let mut prev_start: Option<usize> = None;
         while start < t {
             let len = t_f.min(t - start);
-            for j in 0..len {
-                let prev = match prev_start {
-                    // S^{i-1} may be shorter than t_f at the tail; missing
-                    // columns are treated as zero.
-                    Some(p) if p + j < start => row[p + j],
-                    _ => 0.0,
-                };
-                dst[start + j] = row[start + j] - prev;
+            let (head, tail) = dst[start..start + len].split_at_mut(match prev_start {
+                // S^{i-1} may be shorter than t_f at the tail; missing
+                // columns are treated as zero, i.e. passed through
+                // (`x - 0.0 == x` bitwise for every f32, so the copy
+                // below is exact).
+                Some(p) => len.min(start - p),
+                None => 0,
+            });
+            if let Some(p) = prev_start {
+                let cur = &row[start..start + head.len()];
+                let prev = &row[p..p + head.len()];
+                for ((d, &c), &pv) in head.iter_mut().zip(cur).zip(prev) {
+                    *d = c - pv;
+                }
             }
+            tail.copy_from_slice(&row[start + head.len()..start + len]);
             prev_start = Some(start);
             start += len;
         }

@@ -8,7 +8,65 @@
 //! * conv1d input  `[B, C_in, L]`
 //! * conv1d weight `[C_out, C_in, K]`
 
+use std::cell::RefCell;
+
 use crate::Tensor;
+
+/// Unfold a `[C, H, W]` sample given as a raw slice into the column
+/// matrix layout of [`im2col`], writing into `out` (resized to
+/// `c*kh*kw * oh*ow`). Every element of `out` is written — interior
+/// spans are bulk-copied from the input rows, padding spans are zero
+/// filled — so the buffer can be reused across calls without clearing.
+/// This is the allocation-free core behind [`im2col`] and the conv2d
+/// batch loop (which keeps a thread-local scratch buffer per worker).
+#[allow(clippy::too_many_arguments)] // mirrors im2col geometry
+pub fn im2col_into(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ph: usize,
+    pw: usize,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(src.len(), c * h * w, "im2col_into: input length mismatch");
+    let oh = h + 2 * ph + 1 - kh;
+    let ow = w + 2 * pw + 1 - kw;
+    out.resize(c * kh * kw * oh * ow, 0.0);
+    let ocols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ocols;
+                // Output columns whose input column jj = oj + kj - pw is
+                // in range; everything outside is zero padding.
+                let lo = pw.saturating_sub(kj).min(ow);
+                let hi = (w + pw).saturating_sub(kj).min(ow).max(lo);
+                for oi in 0..oh {
+                    let dst = &mut out[row + oi * ow..row + (oi + 1) * ow];
+                    // Input row index for this output row / kernel row.
+                    let ii = oi + ki;
+                    if ii < ph || ii >= h + ph {
+                        dst.fill(0.0); // zero padding row
+                        continue;
+                    }
+                    let ii = ii - ph;
+                    dst[..lo].fill(0.0);
+                    if hi > lo {
+                        // Input column for output column `lo` is
+                        // lo + kj - pw (non-negative whenever the span
+                        // is non-empty).
+                        let src_lo = (ci * h + ii) * w + (lo + kj - pw);
+                        dst[lo..hi].copy_from_slice(&src[src_lo..src_lo + (hi - lo)]);
+                    }
+                    dst[hi..].fill(0.0);
+                }
+            }
+        }
+    }
+}
 
 /// Unfold `input` (`[C, H, W]`) into a `[C*kh*kw, oh*ow]` column matrix for
 /// a convolution with the given padding and stride 1.
@@ -17,32 +75,8 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, ph: usize, pw: usize) -> Ten
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let oh = h + 2 * ph + 1 - kh;
     let ow = w + 2 * pw + 1 - kw;
-    let mut out = vec![0.0f32; c * kh * kw * oh * ow];
-    let src = input.as_slice();
-    let ocols = oh * ow;
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = ((ci * kh + ki) * kw + kj) * ocols;
-                for oi in 0..oh {
-                    // Input row index for this output row / kernel row.
-                    let ii = oi + ki;
-                    if ii < ph || ii >= h + ph {
-                        continue; // zero padding
-                    }
-                    let ii = ii - ph;
-                    for oj in 0..ow {
-                        let jj = oj + kj;
-                        if jj < pw || jj >= w + pw {
-                            continue;
-                        }
-                        let jj = jj - pw;
-                        out[row + oi * ow + oj] = src[(ci * h + ii) * w + jj];
-                    }
-                }
-            }
-        }
-    }
+    let mut out = Vec::new();
+    im2col_into(input.as_slice(), c, h, w, kh, kw, ph, pw, &mut out);
     Tensor::from_vec(out, &[c * kh * kw, oh * ow])
 }
 
@@ -137,21 +171,32 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, ph: usize, pw: usize) -> Tensor {
     }
     let wmat = weight.reshape(&[cout, cin * kh * kw]);
     let sample = cout * oh * ow;
+    let in_sample = cin * h * w;
     let mut out = vec![0.0f32; b * sample];
     if sample > 0 {
+        thread_local! {
+            // Per-worker column-matrix scratch, reused across samples
+            // and calls (the persistent pool keeps workers alive, so
+            // steady-state conv2d does no per-sample allocation).
+            static COLS: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+        }
+        let src = input.as_slice();
         crate::par::par_rows_mut(&mut out, sample, 1, |b0, block| {
-            for (i, ob) in block.chunks_mut(sample).enumerate() {
-                let x = input.index_axis(0, b0 + i);
-                let cols = im2col(&x, kh, kw, ph, pw);
-                crate::linalg::matmul_block(
-                    wmat.as_slice(),
-                    cols.as_slice(),
-                    ob,
-                    cout,
-                    cin * kh * kw,
-                    oh * ow,
-                );
-            }
+            COLS.with(|cell| {
+                let cols = &mut *cell.borrow_mut();
+                for (i, ob) in block.chunks_mut(sample).enumerate() {
+                    let x = &src[(b0 + i) * in_sample..(b0 + i + 1) * in_sample];
+                    im2col_into(x, cin, h, w, kh, kw, ph, pw, cols);
+                    crate::linalg::matmul_block(
+                        wmat.as_slice(),
+                        cols,
+                        ob,
+                        cout,
+                        cin * kh * kw,
+                        oh * ow,
+                    );
+                }
+            });
         });
     }
     Tensor::from_vec(out, &[b, cout, oh, ow])
@@ -251,6 +296,34 @@ mod tests {
         let cols = im2col(&x, 1, 1, 0, 0);
         assert_eq!(cols.shape(), &[1, 12]);
         assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_into_matches_reference_and_reuses_dirty_buffers() {
+        // Sweep geometries (including pathological padding) against a
+        // direct per-element reference, reusing one scratch buffer
+        // across all calls to prove every element gets written.
+        let mut scratch = vec![f32::NAN; 4]; // dirty, wrong-sized
+        for (c, h, w, kh, kw, ph, pw) in [
+            (1, 1, 1, 1, 1, 0, 0),
+            (2, 4, 5, 3, 3, 1, 1),
+            (3, 5, 4, 2, 4, 0, 2),
+            (1, 6, 3, 5, 1, 2, 0),
+            (2, 3, 3, 3, 3, 2, 2),
+            (1, 1, 1, 6, 6, 3, 3), // kw > w + pw: all-padding columns
+        ] {
+            let x = Tensor::from_vec(
+                (0..c * h * w).map(|v| ((v * 31 + 7) as f32 * 0.13).sin()).collect(),
+                &[c, h, w],
+            );
+            let want = im2col(&x, kh, kw, ph, pw);
+            im2col_into(x.as_slice(), c, h, w, kh, kw, ph, pw, &mut scratch);
+            assert_eq!(
+                want.as_slice(),
+                &scratch[..],
+                "c={c} h={h} w={w} kh={kh} kw={kw} ph={ph} pw={pw}"
+            );
+        }
     }
 
     #[test]

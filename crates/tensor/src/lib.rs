@@ -35,6 +35,7 @@
 pub mod conv;
 mod elementwise;
 mod error;
+mod gemm;
 mod init;
 mod linalg;
 mod manip;
@@ -43,8 +44,9 @@ mod reduce;
 pub mod shape;
 mod tensor;
 
-pub use conv::{avg_pool_axis, col2im, conv1d, conv2d, im2col, moving_avg_same};
+pub use conv::{avg_pool_axis, col2im, conv1d, conv2d, im2col, im2col_into, moving_avg_same};
 pub use error::TensorError;
+pub use linalg::matmul_block_naive;
 pub use shape::{broadcast_shapes, strides_for, Shape};
 pub use tensor::Tensor;
 

@@ -1,15 +1,22 @@
-//! Linear algebra: 2-D and batched 3-D matrix multiplication, transpose,
-//! and general axis permutation.
+//! Linear algebra: 2-D and batched 3-D matrix multiplication (plain and
+//! transposed variants), transpose, and general axis permutation.
 //!
-//! The matmul kernel is a cache-friendly `i-k-j` loop: for each output row
-//! it streams across the shared dimension and accumulates scaled rows of
-//! `rhs`, which keeps the innermost loop a contiguous fused multiply-add
-//! that LLVM auto-vectorises. Large products additionally split their
-//! output rows (2-D / shared-rhs) or batch entries (fully batched)
-//! across threads via [`crate::par`]; because every row is computed by
-//! the identical serial kernel, parallel results are bit-identical to
-//! serial ones.
+//! The matmul kernel is the cache-blocked packed GEMM in [`crate::gemm`]
+//! (MC×KC×NC blocking, MR×NR register tile, thread-local packing
+//! scratch); the historical unblocked loop survives as
+//! [`matmul_block_naive`] and serves as the bitwise reference the tiled
+//! kernel is tested against. Large products split their output rows
+//! (2-D / shared-rhs) or batch entries (fully batched) across the
+//! persistent worker pool via [`crate::par`]; because every row is
+//! computed by the identical serial kernel, parallel results are
+//! bit-identical to serial ones for any thread count.
+//!
+//! The transposed entry points [`Tensor::matmul_tb`] (`A @ Bᵀ`) and
+//! [`Tensor::matmul_ta`] (`Aᵀ @ B`) feed strided views straight into the
+//! packed kernel, so autograd backward passes no longer materialise
+//! explicit transposes.
 
+use crate::gemm::{gemm, MatRef};
 use crate::shape::strides_for;
 use crate::{Result, Tensor, TensorError};
 
@@ -41,19 +48,53 @@ fn matmul_span(b: usize, m: usize, k: usize, n: usize, shared_rhs: bool) -> ts3_
 }
 
 /// Multiply an `m x k` row-major block by a `k x n` block into `out`
-/// (`m x n`, pre-zeroed by the caller). Serial reference kernel; also
-/// the per-block worker of the parallel path.
+/// (`m x n`, pre-zeroed by the caller). Delegates to the cache-blocked
+/// packed kernel in [`crate::gemm`]; bit-identical to
+/// [`matmul_block_naive`] for every shape (enforced by test sweep).
 pub(crate) fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm(MatRef::dense(lhs, k), MatRef::dense(rhs, n), out, m, k, n);
+}
+
+/// Unblocked `i-k-j` kernel, kept as the bitwise reference for the
+/// tiled kernel's equivalence tests (and exported for old-vs-new
+/// comparisons in benches).
+///
+/// **Arithmetic policy.** Each accumulation step is a single fused
+/// multiply-add (`f32::mul_add`: one rounding per step instead of
+/// round(mul)-then-round(add)). Every matmul path in the workspace —
+/// this reference, the packed kernel in `crate::gemm`, its strided
+/// naive fallback, and the transposed entry points — uses the same
+/// `mul_add` fold in ascending `p` order per output element, which is
+/// what keeps them all bit-identical to each other (and hence serial ==
+/// parallel for any thread cap). On targets with hardware FMA (the
+/// committed `.cargo/config.toml` builds with `target-cpu=native`) the
+/// fold compiles to one `vfmadd` per step; without hardware FMA,
+/// `mul_add` falls back to a correctly-rounded softfloat routine —
+/// results stay identical, only speed differs.
+///
+/// Note this loop deliberately has **no** `lhs == 0.0` skip branch (an
+/// earlier revision had one): skipping zero multiplicands makes kernel
+/// time data-dependent — sparse-ish activations run measurably faster —
+/// which skews benchmarks, and it changes results in IEEE edge cases
+/// (`0.0 * x` contributes a signed zero or NaN that the skip would
+/// drop, e.g. `out = -0.0` stays `-0.0` when `0.0 * 1.0` is skipped but
+/// becomes `+0.0` when added). Every product is folded in
+/// unconditionally.
+pub fn matmul_block_naive(
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..m {
         let out_row = &mut out[i * n..(i + 1) * n];
         for p in 0..k {
             let a = lhs[i * k + p];
-            if a == 0.0 {
-                continue;
-            }
             let rhs_row = &rhs[p * n..(p + 1) * n];
             for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                *o += a * r;
+                *o = a.mul_add(r, *o);
             }
         }
     }
@@ -63,6 +104,13 @@ pub(crate) fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, 
 /// of `out` is produced by the same serial kernel either way, so the
 /// result is bit-identical to the serial call for any thread count.
 pub(crate) fn matmul_block_par(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_strided_par(MatRef::dense(lhs, k), MatRef::dense(rhs, n), out, m, k, n);
+}
+
+/// Row-parallel strided product: splits the output rows of `a @ b`
+/// across the worker pool and runs the packed kernel per block. The
+/// strided views let the transposed entry points share this path.
+fn matmul_strided_par(a: MatRef, b: MatRef, out: &mut [f32], m: usize, k: usize, n: usize) {
     if m == 0 || n == 0 {
         return;
     }
@@ -70,7 +118,7 @@ pub(crate) fn matmul_block_par(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usi
     let grain = (PAR_GRAIN_FLOPS / (k * n).max(1)).max(1);
     crate::par::par_rows_mut(out, n, grain, |row0, block| {
         let rows = block.len() / n;
-        matmul_block(&lhs[row0 * k..(row0 + rows) * k], rhs, block, rows, k, n);
+        gemm(a.shifted(row0), b, block, rows, k, n);
     });
 }
 
@@ -160,6 +208,183 @@ impl Tensor {
     /// Panicking wrapper over [`Tensor::try_matmul`].
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         self.try_matmul(rhs).expect("matmul: incompatible shapes")
+    }
+
+    /// `self @ rhsᵀ` without materialising the transpose.
+    ///
+    /// Supported rank combinations (mirroring [`Tensor::try_matmul`]):
+    /// * `[m,k] @ [n,k]ᵀ -> [m,n]`
+    /// * `[b,m,k] @ [n,k]ᵀ -> [b,m,n]` (shared rhs)
+    /// * `[b,m,k] @ [b,n,k]ᵀ -> [b,m,n]` (batched)
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())`: the packed
+    /// kernel only changes its pack-time gather pattern, never the
+    /// per-element accumulation order.
+    pub fn try_matmul_tb(&self, rhs: &Tensor) -> Result<Tensor> {
+        match (self.rank(), rhs.rank()) {
+            (2, 2) => {
+                let (m, k) = (self.shape[0], self.shape[1]);
+                let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+                if k != k2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul_tb",
+                    });
+                }
+                let _s = matmul_span(1, m, k, n, true);
+                let mut out = vec![0.0f32; m * n];
+                matmul_strided_par(
+                    MatRef::dense(&self.data, k),
+                    MatRef::dense_t(&rhs.data, k),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                Ok(Tensor { data: out, shape: vec![m, n] })
+            }
+            (3, 2) => {
+                let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+                let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+                if k != k2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul_tb",
+                    });
+                }
+                let _s = matmul_span(b, m, k, n, true);
+                // Shared rhs flattens exactly like try_matmul's (3,2) arm.
+                let mut out = vec![0.0f32; b * m * n];
+                matmul_strided_par(
+                    MatRef::dense(&self.data, k),
+                    MatRef::dense_t(&rhs.data, k),
+                    &mut out,
+                    b * m,
+                    k,
+                    n,
+                );
+                Ok(Tensor { data: out, shape: vec![b, m, n] })
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+                let (b2, n, k2) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+                if k != k2 || b != b2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul_tb",
+                    });
+                }
+                let _s = matmul_span(b, m, k, n, false);
+                let mut out = vec![0.0f32; b * m * n];
+                let sample = m * n;
+                if sample > 0 {
+                    let grain = (PAR_GRAIN_FLOPS / (sample * k).max(1)).max(1);
+                    crate::par::par_rows_mut(&mut out, sample, grain, |b0, block| {
+                        for (i, ob) in block.chunks_mut(sample).enumerate() {
+                            let bi = b0 + i;
+                            gemm(
+                                MatRef::dense(&self.data[bi * m * k..(bi + 1) * m * k], k),
+                                MatRef::dense_t(&rhs.data[bi * n * k..(bi + 1) * n * k], k),
+                                ob,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    });
+                }
+                Ok(Tensor { data: out, shape: vec![b, m, n] })
+            }
+            _ => Err(TensorError::Invalid(format!(
+                "matmul_tb: unsupported rank combination {} @ {}",
+                self.rank(),
+                rhs.rank()
+            ))),
+        }
+    }
+
+    /// Panicking wrapper over [`Tensor::try_matmul_tb`].
+    pub fn matmul_tb(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul_tb(rhs).expect("matmul_tb: incompatible shapes")
+    }
+
+    /// `selfᵀ @ rhs` without materialising the transpose.
+    ///
+    /// Supported rank combinations:
+    /// * `[m,k]ᵀ @ [m,n] -> [k,n]`
+    /// * `[b,m,k]ᵀ @ [b,m,n] -> [b,k,n]` (batched, per-sample transpose)
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)`.
+    pub fn try_matmul_ta(&self, rhs: &Tensor) -> Result<Tensor> {
+        match (self.rank(), rhs.rank()) {
+            (2, 2) => {
+                let (m, k) = (self.shape[0], self.shape[1]);
+                let (m2, n) = (rhs.shape[0], rhs.shape[1]);
+                if m != m2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul_ta",
+                    });
+                }
+                // Output is [k, n]; the shared dimension is m.
+                let _s = matmul_span(1, k, m, n, true);
+                let mut out = vec![0.0f32; k * n];
+                matmul_strided_par(
+                    MatRef::dense_t(&self.data, k),
+                    MatRef::dense(&rhs.data, n),
+                    &mut out,
+                    k,
+                    m,
+                    n,
+                );
+                Ok(Tensor { data: out, shape: vec![k, n] })
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+                let (b2, m2, n) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+                if m != m2 || b != b2 {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.shape.clone(),
+                        rhs: rhs.shape.clone(),
+                        op: "matmul_ta",
+                    });
+                }
+                let _s = matmul_span(b, k, m, n, false);
+                let mut out = vec![0.0f32; b * k * n];
+                let sample = k * n;
+                if sample > 0 {
+                    let grain = (PAR_GRAIN_FLOPS / (sample * m).max(1)).max(1);
+                    crate::par::par_rows_mut(&mut out, sample, grain, |b0, block| {
+                        for (i, ob) in block.chunks_mut(sample).enumerate() {
+                            let bi = b0 + i;
+                            gemm(
+                                MatRef::dense_t(&self.data[bi * m * k..(bi + 1) * m * k], k),
+                                MatRef::dense(&rhs.data[bi * m * n..(bi + 1) * m * n], n),
+                                ob,
+                                k,
+                                m,
+                                n,
+                            );
+                        }
+                    });
+                }
+                Ok(Tensor { data: out, shape: vec![b, k, n] })
+            }
+            _ => Err(TensorError::Invalid(format!(
+                "matmul_ta: unsupported rank combination {} @ {}",
+                self.rank(),
+                rhs.rank()
+            ))),
+        }
+    }
+
+    /// Panicking wrapper over [`Tensor::try_matmul_ta`].
+    pub fn matmul_ta(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul_ta(rhs).expect("matmul_ta: incompatible shapes")
     }
 
     /// 2-D transpose. For rank-3 tensors, swaps the last two axes
@@ -418,6 +643,116 @@ mod tests {
         let w2 = Tensor::randn(&[k, n], 5);
         let flat = x.reshape(&[b * m, k]).matmul(&w2);
         assert_eq!(x.matmul(&w2).as_slice(), flat.as_slice());
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_equals_naive_sweep() {
+        // The determinism contract hinges on the packed kernel producing
+        // the exact operation sequence of the naive loop. Sweep ragged
+        // shapes around every blocking boundary (MR=4, NR=16, MC=64,
+        // KC=256) and require bit-for-bit equality, not allclose.
+        let dims_mn = [1usize, 2, 3, 5, 7, 8, 13, 16, 17, 31, 33, 64, 65, 100];
+        let dims_k = [1usize, 2, 5, 16, 17, 64, 100, 257];
+        let mut seed = 100u64;
+        for &m in &dims_mn {
+            for &n in &dims_mn {
+                for &k in &dims_k {
+                    // Keep the sweep fast: skip the huge all-large combos.
+                    if m * k * n > 1 << 20 {
+                        continue;
+                    }
+                    seed += 1;
+                    let a = Tensor::randn(&[m, k], seed);
+                    let b = Tensor::randn(&[k, n], seed + 1_000_000);
+                    let mut naive = vec![0.0f32; m * n];
+                    matmul_block_naive(a.as_slice(), b.as_slice(), &mut naive, m, k, n);
+                    let mut tiled = vec![0.0f32; m * n];
+                    matmul_block(a.as_slice(), b.as_slice(), &mut tiled, m, k, n);
+                    assert_eq!(bits(&naive), bits(&tiled), "m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_handles_special_values_like_naive() {
+        // Zeros, signed zeros, infinities and NaNs must flow through the
+        // packed kernel exactly as through the naive loop (no zero-skip).
+        let m = 9;
+        let k = 21;
+        let n = 19;
+        let mut av = Vec::with_capacity(m * k);
+        for i in 0..m * k {
+            av.push(match i % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::INFINITY,
+                3 => f32::NEG_INFINITY,
+                4 => f32::NAN,
+                _ => (i as f32 * 0.37).sin(),
+            });
+        }
+        let bv: Vec<f32> = (0..k * n)
+            .map(|i| match i % 5 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (i as f32 * 0.61).cos(),
+            })
+            .collect();
+        let mut naive = vec![0.0f32; m * n];
+        matmul_block_naive(&av, &bv, &mut naive, m, k, n);
+        let mut tiled = vec![0.0f32; m * n];
+        matmul_block(&av, &bv, &mut tiled, m, k, n);
+        assert_eq!(bits(&naive), bits(&tiled));
+    }
+
+    #[test]
+    fn matmul_tb_matches_materialized_transpose() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (17, 13, 19), (33, 65, 31), (64, 64, 64)] {
+            let a = Tensor::randn(&[m, k], (m * 1000 + n) as u64);
+            let b = Tensor::randn(&[n, k], (k * 777 + 5) as u64);
+            let via_t = a.matmul(&b.transpose());
+            let direct = a.matmul_tb(&b);
+            assert_eq!(direct.shape(), &[m, n]);
+            assert_eq!(bits(via_t.as_slice()), bits(direct.as_slice()), "m={m} k={k} n={n}");
+        }
+        // Shared-rhs (3,2) and fully batched (3,3) arms.
+        let x = Tensor::randn(&[3, 7, 11], 42);
+        let w = Tensor::randn(&[5, 11], 43);
+        assert_eq!(
+            bits(x.matmul(&w.transpose()).as_slice()),
+            bits(x.matmul_tb(&w).as_slice())
+        );
+        let y = Tensor::randn(&[3, 9, 11], 44);
+        assert_eq!(
+            bits(x.matmul(&y.transpose()).as_slice()),
+            bits(x.matmul_tb(&y).as_slice())
+        );
+        assert!(x.try_matmul_tb(&Tensor::ones(&[5, 12])).is_err());
+    }
+
+    #[test]
+    fn matmul_ta_matches_materialized_transpose() {
+        for (m, k, n) in [(1, 1, 1), (5, 3, 2), (13, 17, 19), (65, 33, 31), (64, 64, 64)] {
+            let a = Tensor::randn(&[m, k], (m * 31 + k) as u64);
+            let b = Tensor::randn(&[m, n], (n * 17 + 3) as u64);
+            let via_t = a.transpose().matmul(&b);
+            let direct = a.matmul_ta(&b);
+            assert_eq!(direct.shape(), &[k, n]);
+            assert_eq!(bits(via_t.as_slice()), bits(direct.as_slice()), "m={m} k={k} n={n}");
+        }
+        // Batched arm.
+        let x = Tensor::randn(&[4, 7, 5], 45);
+        let g = Tensor::randn(&[4, 7, 9], 46);
+        assert_eq!(
+            bits(x.transpose().matmul(&g).as_slice()),
+            bits(x.matmul_ta(&g).as_slice())
+        );
+        assert!(x.try_matmul_ta(&Tensor::ones(&[4, 8, 9])).is_err());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Lifecycle tests for the persistent worker pool behind
+//! `ts3_tensor::par`. This is an integration-test binary so it owns the
+//! process-global pool and thread-cap state outright — the assertions
+//! on `pool_stats()` would be meaningless inside the crate's unit-test
+//! process, where every other test dispatches too.
+//!
+//! Everything runs inside ONE #[test] so the scenario owns the pool's
+//! whole lifetime ordering (spawn counts are process-cumulative).
+
+use ts3_tensor::par::{max_threads, par_rows_mut, pool_stats, set_max_threads};
+use ts3_tensor::Tensor;
+
+/// Deterministic row worker used throughout the scenario.
+fn fill(first_row: usize, block: &mut [f32], width: usize) {
+    for (r, row) in block.chunks_mut(width).enumerate() {
+        let gr = first_row + r;
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = ((gr * 17 + c * 3) as f32 * 0.29).sin() * (gr as f32 + 0.5);
+        }
+    }
+}
+
+fn run_dispatch(rows: usize, width: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * width];
+    // grain 1 so the partition uses the full thread cap.
+    par_rows_mut(&mut out, width, 1, |r0, block| fill(r0, block, width));
+    out
+}
+
+#[test]
+fn pool_lifecycle_scenario() {
+    let width = 5;
+    let rows = 64;
+    let mut serial = vec![0.0f32; rows * width];
+    fill(0, &mut serial, width);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    // --- Cold pool at cap 4: first dispatch spawns exactly cap-1 workers.
+    set_max_threads(4);
+    assert_eq!(max_threads(), 4);
+    assert_eq!(pool_stats().threads_spawned, 0, "pool must be lazy");
+    let first = run_dispatch(rows, width);
+    assert_eq!(bits(&serial), bits(&first));
+    let s = pool_stats();
+    assert_eq!(s.last_dispatch_threads, 4);
+    assert_eq!(s.threads_spawned, 3, "cap 4 => exactly 3 workers");
+    assert!(s.pool_dispatches >= 1);
+
+    // --- Warm pool: many dispatches, zero further spawns (the "no
+    // per-call thread spawns on the hot path" acceptance criterion).
+    for _ in 0..50 {
+        let out = run_dispatch(rows, width);
+        assert_eq!(bits(&serial), bits(&out));
+    }
+    let s = pool_stats();
+    assert_eq!(s.threads_spawned, 3, "warm dispatches must never spawn");
+    assert!(s.pool_dispatches >= 51);
+
+    // --- Shrink the cap mid-process: surplus workers are masked, not
+    // killed — the next dispatch uses 2 threads and spawns nothing.
+    set_max_threads(2);
+    let out = run_dispatch(rows, width);
+    assert_eq!(bits(&serial), bits(&out));
+    let s = pool_stats();
+    assert_eq!(s.last_dispatch_threads, 2, "late cap shrink must take effect");
+    assert_eq!(s.threads_spawned, 3, "shrink must not spawn or respawn");
+
+    // --- Grow the cap past the initial pool size: the missing workers
+    // are spawned lazily on the next dispatch.
+    set_max_threads(7);
+    let out = run_dispatch(rows, width);
+    assert_eq!(bits(&serial), bits(&out));
+    let s = pool_stats();
+    assert_eq!(s.last_dispatch_threads, 7, "late cap growth must take effect");
+    assert_eq!(s.threads_spawned, 6, "growth tops the pool up to cap-1");
+
+    // --- Cap 1 routes inline without touching the pool.
+    set_max_threads(1);
+    let inline_before = pool_stats().inline_runs;
+    let out = run_dispatch(rows, width);
+    assert_eq!(bits(&serial), bits(&out));
+    let s = pool_stats();
+    assert_eq!(s.last_dispatch_threads, 1);
+    assert!(s.inline_runs > inline_before);
+    assert_eq!(s.threads_spawned, 6);
+
+    // --- A panicking worker block propagates to the caller...
+    set_max_threads(4);
+    let caught = std::panic::catch_unwind(|| {
+        let mut out = vec![0.0f32; 8 * width];
+        par_rows_mut(&mut out, width, 1, |r0, block| {
+            if r0 == 0 {
+                panic!("poisoned worker block");
+            }
+            fill(r0, block, width);
+        });
+    });
+    let payload = caught.expect_err("worker panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("poisoned worker block"), "unexpected payload: {msg}");
+
+    // ...and the pool survives it: same workers, correct results after.
+    let out = run_dispatch(rows, width);
+    assert_eq!(bits(&serial), bits(&out));
+    let s = pool_stats();
+    assert_eq!(s.last_dispatch_threads, 4);
+    assert_eq!(s.threads_spawned, 6, "panic recovery must not respawn workers");
+
+    // --- Real kernels ride the warm pool bit-identically: matmul at
+    // several caps against the cap-1 reference.
+    let a = Tensor::randn(&[37, 29], 11);
+    let b = Tensor::randn(&[29, 41], 12);
+    set_max_threads(1);
+    let reference = a.matmul(&b);
+    for cap in [2, 4, 7] {
+        set_max_threads(cap);
+        let got = a.matmul(&b);
+        assert_eq!(
+            bits(reference.as_slice()),
+            bits(got.as_slice()),
+            "matmul differs at cap {cap}"
+        );
+    }
+
+    // Process-lifetime spawn ceiling: never more than the largest
+    // cap-1 seen, regardless of how many dispatches ran.
+    assert_eq!(pool_stats().threads_spawned, 6);
+}

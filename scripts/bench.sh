@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Benchmark driver for the TS3Net reproduction workspace.
+#
+#   scripts/bench.sh [--smoke] [--out-dir DIR]
+#
+# Full mode (default) runs both opt-in bench targets at the standard
+# measurement budget and writes machine-readable results to DIR
+# (default results/): BENCH_kernels.json and BENCH_model.json. The
+# committed copies under results/ are the regression baselines for
+# `bench_compare`. Tracing is NOT forced on: one span record costs
+# ~100 ns, which distorts sub-µs kernels (cwt/inverse runs ~180 ns
+# untraced vs ~330 ns traced). Opt in with
+# `TS3_TRACE=1 TS3_TRACE_MAX_SPANS=2000 scripts/bench.sh` to
+# additionally emit ts3.trace.v1 run manifests
+# (results/BENCH_*.trace.json) — that is how the committed manifests
+# were produced (the span cap keeps them compact; counters are
+# unaffected); their timings are not comparable to untraced JSONs.
+#
+# Smoke mode (--smoke) is the verify.sh gate: the reduced kernel subset
+# only (TS3_BENCH_SMOKE=1), a 40 ms per-bench budget, a 2-thread cap so
+# the pool dispatch path is exercised deterministically, writing
+# BENCH_kernels_smoke.json to DIR. Compare against the committed
+# results/BENCH_kernels_smoke.json with a generous threshold — smoke
+# medians are short-budget and noisier than full ones:
+#
+#   ./target/release/bench_compare results/BENCH_kernels_smoke.json \
+#       DIR/BENCH_kernels_smoke.json --threshold 50
+#
+# All medians are wall-clock on the host CPU (built with
+# target-cpu=native, see .cargo/config.toml): baselines are only
+# meaningful against runs from the same machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT_DIR=results
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out-dir)
+      [[ $# -ge 2 ]] || { echo "--out-dir needs an argument" >&2; exit 2; }
+      OUT_DIR=$2
+      shift
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+# cargo runs bench binaries from the crate directory, so hand them an
+# absolute output path.
+mkdir -p "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+BENCH="cargo bench -p ts3-bench --features bench-harness --offline"
+
+if [[ $SMOKE -eq 1 ]]; then
+  echo "== bench.sh: smoke (reduced kernels, 40 ms budget, 2 threads) =="
+  TS3_BENCH_SMOKE=1 TS3_BENCH_MS=40 TS3_THREADS=2 TS3_TRACE=1 \
+    TS3_TRACE_MAX_SPANS=2000 \
+    TS3_BENCH_OUT="$OUT_DIR/BENCH_kernels_smoke.json" \
+    $BENCH --bench kernels
+else
+  echo "== bench.sh: full kernel benchmarks =="
+  TS3_BENCH_OUT="$OUT_DIR/BENCH_kernels.json" \
+    $BENCH --bench kernels
+  echo "== bench.sh: full model benchmarks =="
+  TS3_BENCH_OUT="$OUT_DIR/BENCH_model.json" \
+    $BENCH --bench model
+fi
+echo "bench.sh: results in $OUT_DIR"
