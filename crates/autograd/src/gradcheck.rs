@@ -28,6 +28,7 @@ pub fn gradcheck_var(f: impl Fn(&Var) -> Var, x: &Tensor, eps: f32) -> GradCheck
     out.backward();
     let analytic = leaf
         .grad()
+        // ts3-lint: allow(no-unwrap-in-lib) a function with no dependence on its input is a harness misuse; failing fast is the point
         .expect("gradcheck: function must depend on its input");
 
     let mut max_rel_err = 0.0f32;

@@ -38,6 +38,7 @@ impl Var {
                         let gb = a.matmul_ta(g); // batched Aᵀ @ G
                         vec![Some(ga), Some(gb)]
                     }
+                    // ts3-lint: allow(no-unwrap-in-lib) rank combinations are fixed by the forward op; this arm is a documented contract violation
                     (ra, rb) => panic!("matmul backward: unsupported ranks {ra}/{rb}"),
                 }
             }),
@@ -74,6 +75,7 @@ impl Var {
                         let gb = g2.matmul_ta(&a2); // [n,k]
                         vec![Some(ga), Some(gb)]
                     }
+                    // ts3-lint: allow(no-unwrap-in-lib) rank combinations are fixed by the forward op; this arm is a documented contract violation
                     (ra, rb) => panic!("matmul_tb backward: unsupported ranks {ra}/{rb}"),
                 }
             }),

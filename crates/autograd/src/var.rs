@@ -11,7 +11,7 @@
 
 use crate::param::Param;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use ts3_tensor::Tensor;
 
@@ -122,8 +122,10 @@ impl Var {
             seed.shape(),
             self.shape()
         );
-        // Collect the reachable subgraph.
-        let mut nodes: HashMap<u64, Var> = HashMap::new();
+        // Collect the reachable subgraph. A BTreeMap keyed by creation
+        // id: iteration order is the topological order's reverse for
+        // free, and stays deterministic (no-hashmap-in-lib contract).
+        let mut nodes: BTreeMap<u64, Var> = BTreeMap::new();
         let mut stack = vec![self.clone()];
         while let Some(v) = stack.pop() {
             if nodes.contains_key(&v.0.id) {
@@ -143,9 +145,10 @@ impl Var {
             *v.0.grad.borrow_mut() = None;
         }
         *self.0.grad.borrow_mut() = Some(seed);
-        // Reverse topological order = descending creation id.
-        let mut order: Vec<u64> = nodes.keys().copied().collect();
-        order.sort_unstable_by(|a, b| b.cmp(a));
+        // Reverse topological order = descending creation id; the
+        // BTreeMap iterates ascending, so reversing its keys replaces
+        // the explicit sort the HashMap needed.
+        let order: Vec<u64> = nodes.keys().rev().copied().collect();
         for id in order {
             let v = &nodes[&id];
             let grad = match v.0.grad.borrow().clone() {

@@ -62,6 +62,7 @@ impl TimesBlock {
                 None => term,
             });
         }
+        // ts3-lint: allow(no-unwrap-in-lib) top_k >= 1 guarantees at least one aggregated period
         agg.expect("nonempty").add(x)
     }
 }

@@ -82,6 +82,7 @@ pub fn cell_configs(
 
 /// Dataset spec by name (panics on unknown — the lists above are fixed).
 pub fn spec(dataset: &str) -> SeriesSpec {
+    // ts3-lint: allow(no-unwrap-in-lib) dataset names come from the fixed spec list; unknown names are a documented # Panics contract
     spec_by_name(dataset).unwrap_or_else(|| panic!("unknown dataset `{dataset}`"))
 }
 

@@ -64,6 +64,7 @@ impl CustomOp for CwtAmpOp {
         let cache = self.cache.borrow();
         let (re_all, im_all) = cache
             .as_ref()
+            // ts3-lint: allow(no-unwrap-in-lib) autograd runs backward only after forward, which populates this cache
             .expect("cwt_amp backward called before forward");
         let gs = grad.as_slice();
         let mut gx = vec![0.0f32; b * t * d];

@@ -100,6 +100,7 @@ impl Module for TfBlock {
             });
         }
         // Residual connection (Eq. 12).
+        // ts3-lint: allow(no-unwrap-in-lib) the branch list is non-empty by construction, so the fold always produces a value
         merged.expect("at least one branch").add(x)
     }
 

@@ -47,6 +47,7 @@ impl StandardScaler {
 
     /// Standardise a `[.., C]` tensor channel-wise (last axis = channels).
     pub fn transform(&self, data: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 1 is the documented input contract of the scaler API
         let c = *data.shape().last().expect("transform: rank >= 1 required");
         assert_eq!(c, self.mean.len(), "channel count mismatch");
         let mut out = data.clone();
@@ -60,6 +61,7 @@ impl StandardScaler {
 
     /// Invert [`StandardScaler::transform`].
     pub fn inverse_transform(&self, data: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 1 is the documented input contract of the scaler API
         let c = *data.shape().last().expect("inverse_transform: rank >= 1 required");
         assert_eq!(c, self.mean.len(), "channel count mismatch");
         let mut out = data.clone();

@@ -76,7 +76,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -112,7 +112,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -135,7 +135,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -146,7 +146,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
@@ -170,6 +170,7 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
+        // ts3-lint: allow(no-unwrap-in-lib) the scanned span holds only ASCII number bytes, always valid UTF-8
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii span");
         match text.parse::<f64>() {
             // `f64::parse` accepts "inf"/"nan" spellings, but those
@@ -181,7 +182,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -217,7 +218,9 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one full UTF-8 scalar (input is &str, so
                     // the byte stream is valid UTF-8 by construction).
+                    // ts3-lint: allow(no-unwrap-in-lib) input arrived as &str, so the remaining bytes are valid UTF-8
                     let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("valid utf8");
+                    // ts3-lint: allow(no-unwrap-in-lib) peek() returned Some, so the decoded remainder is non-empty
                     let c = rest.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();

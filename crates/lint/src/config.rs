@@ -1,0 +1,105 @@
+//! The committed lint configuration (`ts3lint.json` at the workspace
+//! root), parsed with the in-tree `ts3-json` parser.
+//!
+//! The config carries the *path policy* — which files count as library
+//! code, where wall-clock reads are legitimate, which files are under
+//! the FMA arithmetic policy — while per-site exemptions live next to
+//! the code as `// ts3-lint: allow(rule) reason` directives.
+
+use ts3_json::Json;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) to walk for `.rs` files.
+    pub roots: Vec<String>,
+    /// Directory names skipped anywhere in the walk (e.g. `target`).
+    pub skip_dirs: Vec<String>,
+    /// Files allowed to read `Instant::now` / `SystemTime::now`: the
+    /// timing substrate itself.
+    pub wallclock_allow: Vec<String>,
+    /// Files under the FMA policy (`a * b + c` float folds must be
+    /// `mul_add`).
+    pub fma_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            roots: vec![
+                "crates".into(),
+                "src".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            skip_dirs: vec!["target".into()],
+            wallclock_allow: Vec::new(),
+            fma_files: Vec::new(),
+        }
+    }
+}
+
+fn string_list(doc: &Json, key: &str) -> Option<Vec<String>> {
+    let arr = doc.get(key)?.as_array()?;
+    Some(arr.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+}
+
+impl Config {
+    /// Parse a `ts3.lint.config.v1` document. Unknown keys are ignored;
+    /// missing keys keep their defaults, so an empty object is a valid
+    /// config.
+    pub fn from_json(doc: &Json) -> Result<Config, String> {
+        if let Some(schema) = doc.get("schema").and_then(Json::as_str) {
+            if schema != "ts3.lint.config.v1" {
+                return Err(format!("unsupported config schema `{schema}`"));
+            }
+        }
+        let mut cfg = Config::default();
+        if let Some(v) = string_list(doc, "roots") {
+            cfg.roots = v;
+        }
+        if let Some(v) = string_list(doc, "skip_dirs") {
+            cfg.skip_dirs = v;
+        }
+        if let Some(v) = string_list(doc, "wallclock_allow") {
+            cfg.wallclock_allow = v;
+        }
+        if let Some(v) = string_list(doc, "fma_files") {
+            cfg.fma_files = v;
+        }
+        Ok(cfg)
+    }
+
+    /// Parse config text (see [`Config::from_json`]).
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let doc = Json::parse(text).map_err(|e| format!("config parse error: {e}"))?;
+        Config::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_is_defaults() {
+        let cfg = Config::parse("{}").expect("empty config parses");
+        assert_eq!(cfg.roots, ["crates", "src", "tests", "examples"]);
+        assert!(cfg.wallclock_allow.is_empty());
+    }
+
+    #[test]
+    fn lists_override_defaults() {
+        let cfg = Config::parse(
+            r#"{"schema": "ts3.lint.config.v1", "roots": ["x"], "fma_files": ["a.rs"]}"#,
+        )
+        .expect("config parses");
+        assert_eq!(cfg.roots, ["x"]);
+        assert_eq!(cfg.fma_files, ["a.rs"]);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(Config::parse(r#"{"schema": "nope"}"#).is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! The rule engine: per-file token analysis context, inline
+//! `// ts3-lint: allow(rule) reason` directives, `#[cfg(test)]` span
+//! tracking, and suppression bookkeeping.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules;
+use crate::walk::FileKind;
+use std::cell::Cell;
+
+/// The six contract rules plus the two directive meta-rules, in
+/// reporting order.
+pub const ALL_RULES: &[&str] = &[
+    "unsafe-needs-safety",
+    "no-hashmap-in-lib",
+    "no-wallclock-or-entropy",
+    "no-unwrap-in-lib",
+    "fma-policy",
+    "hermetic-imports",
+    "allow-needs-reason",
+    "unused-allow",
+];
+
+/// Marker accepted as a safety justification: the canonical `// SAFETY:`
+/// comment or a rustdoc `# Safety` section heading.
+pub(crate) const SAFETY_MARKERS: &[&str] = &["SAFETY:", "# Safety"];
+
+/// One parsed `ts3-lint: allow(...)` directive.
+#[derive(Debug)]
+pub(crate) struct Directive {
+    /// Rules this directive may suppress.
+    pub rules: Vec<String>,
+    /// Whether free text (the reason) followed the closing paren.
+    pub has_reason: bool,
+    /// Line/col of the comment carrying the directive.
+    pub line: u32,
+    pub col: u32,
+    /// Line whose diagnostics this directive suppresses: its own line
+    /// for trailing comments, the next code line for standalone ones.
+    pub target_line: u32,
+    /// Set when the directive suppressed at least one diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// Per-line facts precomputed from the token stream (index 0 unused;
+/// lines are 1-based).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LineInfo {
+    /// Line holds at least one non-comment token.
+    pub has_code: bool,
+    /// First non-comment token on the line is `#` (attribute line).
+    pub attr_start: bool,
+    /// Indices (into the token vec) of comments touching this line;
+    /// multi-line block comments are recorded on every covered line.
+    pub comments: Vec<usize>,
+}
+
+/// Everything a rule needs to inspect one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// File role (lib / bin / test).
+    pub kind: FileKind,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Per-line facts; see [`LineInfo`].
+    pub(crate) lines: Vec<LineInfo>,
+    /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub(crate) test_spans: Vec<(u32, u32)>,
+    /// Workspace configuration.
+    pub cfg: &'a Config,
+    pub(crate) directives: Vec<Directive>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Lex `src` and precompute the analysis context.
+    pub fn new(rel_path: &'a str, kind: FileKind, src: &str, cfg: &'a Config) -> FileCtx<'a> {
+        let tokens = lex(src);
+        let max_line = tokens
+            .iter()
+            .map(|t| t.line + count_newlines(&t.text))
+            .max()
+            .unwrap_or(0);
+        let mut lines = vec![LineInfo::default(); max_line as usize + 2];
+        for (i, t) in tokens.iter().enumerate() {
+            match t.kind {
+                TokKind::LineComment | TokKind::BlockComment => {
+                    for l in t.line..=t.line + count_newlines(&t.text) {
+                        lines[l as usize].comments.push(i);
+                    }
+                }
+                _ => {
+                    let info = &mut lines[t.line as usize];
+                    if !info.has_code {
+                        info.attr_start = t.text == "#";
+                    }
+                    info.has_code = true;
+                }
+            }
+        }
+        let test_spans = find_test_spans(&tokens);
+        let directives = find_directives(&tokens, &lines);
+        FileCtx { rel_path, kind, tokens, lines, test_spans, cfg, directives }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module or `#[test]` function?
+    pub(crate) fn in_test_code(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Non-comment token at `i`, if any.
+    pub(crate) fn code_tok(&self, i: usize) -> Option<&Token> {
+        let t = self.tokens.get(i)?;
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => None,
+            _ => Some(t),
+        }
+    }
+
+    /// Index of the next non-comment token at or after `i`.
+    pub(crate) fn next_code(&self, mut i: usize) -> Option<usize> {
+        while i < self.tokens.len() {
+            if self.code_tok(i).is_some() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the previous non-comment token at or before `i`.
+    pub(crate) fn prev_code(&self, mut i: usize) -> Option<usize> {
+        loop {
+            if self.code_tok(i).is_some() {
+                return Some(i);
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Build a diagnostic at a token.
+    pub(crate) fn diag(
+        &self,
+        rule: &'static str,
+        severity: Severity,
+        at: &Token,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            path: self.rel_path.to_string(),
+            line: at.line,
+            col: at.col,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+}
+
+fn count_newlines(s: &str) -> u32 {
+    s.bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+/// Extract `ts3-lint: allow(rule[, rule]) reason` directives from
+/// comment tokens. A comment that mentions `ts3-lint:` but does not
+/// parse keeps `rules` empty — the engine reports it as malformed.
+fn find_directives(tokens: &[Token], lines: &[LineInfo]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for t in tokens {
+        // Only plain comments whose whole purpose is the directive
+        // count: doc comments and prose that merely *mentions* the
+        // syntax (like this crate's own documentation) must not parse
+        // as directives.
+        let body = match t.kind {
+            TokKind::LineComment => {
+                if t.text.starts_with("///") || t.text.starts_with("//!") {
+                    continue;
+                }
+                t.text.trim_start_matches('/')
+            }
+            TokKind::BlockComment => {
+                if t.text.starts_with("/**") || t.text.starts_with("/*!") {
+                    continue;
+                }
+                t.text.trim_start_matches("/*")
+            }
+            _ => continue,
+        };
+        let Some(rest) = body.trim_start().strip_prefix("ts3-lint:") else { continue };
+        let rest = rest.trim_start();
+        let (rules, has_reason) = parse_allow(rest);
+        // Trailing comment suppresses its own line; a standalone
+        // comment line suppresses the next line that holds code.
+        let own_line_code = lines
+            .get(t.line as usize)
+            .is_some_and(|l| l.has_code);
+        let target_line = if own_line_code {
+            t.line
+        } else {
+            let mut l = t.line as usize + 1;
+            while l < lines.len() && !lines[l].has_code {
+                l += 1;
+            }
+            l as u32
+        };
+        out.push(Directive {
+            rules,
+            has_reason,
+            line: t.line,
+            col: t.col,
+            target_line,
+            used: Cell::new(false),
+        });
+    }
+    out
+}
+
+/// Parse `allow(a, b) reason…`; returns the rule list (empty when
+/// malformed) and whether a non-empty reason followed.
+fn parse_allow(rest: &str) -> (Vec<String>, bool) {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return (Vec::new(), false);
+    };
+    let Some(close) = args.find(')') else {
+        return (Vec::new(), false);
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim())
+        .filter(|r| !r.is_empty())
+        // Short alias from the rule's write-up; normalise so directive
+        // matching stays exact-id.
+        .map(|r| if r == "no-unwrap" { "no-unwrap-in-lib" } else { r })
+        .map(str::to_string)
+        .collect();
+    let reason = args[close + 1..].trim();
+    // Block comments may close with `*/` right after the reason.
+    let reason = reason.strip_suffix("*/").unwrap_or(reason).trim();
+    (rules, !reason.is_empty())
+}
+
+/// Find line spans of items annotated `#[test]` or `#[cfg(test)]`
+/// (typically `mod tests { … }`), by brace matching from the token
+/// stream. Attributes like `#[cfg(not(test))]` do not count.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].1.text != "#" || i + 1 >= code.len() || code[i + 1].1.text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut body: Vec<&str> = Vec::new();
+        while j < code.len() && depth > 0 {
+            match code[j].1.text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                s if depth >= 1 => body.push(s),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = body.as_slice() == ["test"]
+            || (body.first() == Some(&"cfg") && body.contains(&"test") && !body.contains(&"not"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        let attr_line = code[i].1.line;
+        // Find the item's block: first `{` at delimiter depth 0 (a `;`
+        // first means a block-less item — nothing to span).
+        let mut k = j;
+        let mut pdepth = 0i32;
+        let mut open = None;
+        while k < code.len() {
+            match code[k].1.text.as_str() {
+                "(" | "[" => pdepth += 1,
+                ")" | "]" => pdepth -= 1,
+                "{" if pdepth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                ";" if pdepth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(open) = open {
+            let mut bdepth = 0i32;
+            let mut k = open;
+            while k < code.len() {
+                match code[k].1.text.as_str() {
+                    "{" => bdepth += 1,
+                    "}" => {
+                        bdepth -= 1;
+                        if bdepth == 0 {
+                            spans.push((attr_line, code[k].1.line));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        i = j;
+    }
+    spans
+}
+
+/// Lint one file: run the selected rules, apply allow directives, and
+/// report directive hygiene.
+///
+/// `selected` filters rules by id; empty means "all". When a filter is
+/// active the directive meta-rules only run if explicitly selected
+/// (usage tracking is incomplete under a filter, so `unused-allow`
+/// would produce false positives).
+pub fn lint_file(ctx: &FileCtx, selected: &[String]) -> Vec<Diagnostic> {
+    let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let mut diags = Vec::new();
+    if run("unsafe-needs-safety") {
+        rules::unsafe_needs_safety(ctx, &mut diags);
+    }
+    if run("no-hashmap-in-lib") {
+        rules::no_hashmap_in_lib(ctx, &mut diags);
+    }
+    if run("no-wallclock-or-entropy") {
+        rules::no_wallclock_or_entropy(ctx, &mut diags);
+    }
+    if run("no-unwrap-in-lib") {
+        rules::no_unwrap_in_lib(ctx, &mut diags);
+    }
+    if run("fma-policy") {
+        rules::fma_policy(ctx, &mut diags);
+    }
+    if run("hermetic-imports") {
+        rules::hermetic_imports(ctx, &mut diags);
+    }
+
+    // Apply suppressions.
+    diags.retain(|d| {
+        let suppressed = ctx.directives.iter().any(|dir| {
+            dir.target_line == d.line && dir.rules.iter().any(|r| r == d.rule)
+        });
+        if suppressed {
+            for dir in &ctx.directives {
+                if dir.target_line == d.line && dir.rules.iter().any(|r| r == d.rule) {
+                    dir.used.set(true);
+                }
+            }
+        }
+        !suppressed
+    });
+
+    // Directive hygiene. Unknown rule names count as malformed: a typo
+    // in a directive must not silently disable a real allow.
+    for dir in &ctx.directives {
+        let at = Token {
+            kind: TokKind::LineComment,
+            text: String::new(),
+            line: dir.line,
+            col: dir.col,
+        };
+        if run("allow-needs-reason") {
+            if dir.rules.is_empty() {
+                diags.push(ctx.diag(
+                    "allow-needs-reason",
+                    Severity::Error,
+                    &at,
+                    "malformed ts3-lint directive",
+                    "write `// ts3-lint: allow(rule-name) <reason>`",
+                ));
+                continue;
+            }
+            if let Some(unknown) =
+                dir.rules.iter().find(|r| !ALL_RULES.contains(&r.as_str()))
+            {
+                diags.push(ctx.diag(
+                    "allow-needs-reason",
+                    Severity::Error,
+                    &at,
+                    format!("directive names unknown rule `{unknown}`"),
+                    format!("known rules: {}", ALL_RULES.join(", ")),
+                ));
+            }
+            if !dir.has_reason {
+                diags.push(ctx.diag(
+                    "allow-needs-reason",
+                    Severity::Error,
+                    &at,
+                    format!("allow({}) carries no reason", dir.rules.join(", ")),
+                    "append the justification after the closing paren",
+                ));
+            }
+        }
+        if run("unused-allow") && selected.is_empty() && !dir.rules.is_empty() && !dir.used.get()
+        {
+            diags.push(ctx.diag(
+                "unused-allow",
+                Severity::Warning,
+                &at,
+                format!("allow({}) suppressed nothing", dir.rules.join(", ")),
+                "delete the stale directive",
+            ));
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    diags
+}

@@ -1,0 +1,379 @@
+//! A lightweight Rust lexer: enough token structure for line-oriented
+//! static analysis, nowhere near a parser.
+//!
+//! The lexer understands exactly the constructs that would otherwise
+//! make naive `grep`-style scanning lie about source text:
+//!
+//! * line comments (including `///` and `//!` doc comments) and
+//!   **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings with
+//!   any number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char literals vs lifetimes — `'a'` and `'\''` are chars, `'a` in
+//!   `Vec<'a, T>` is a lifetime,
+//! * raw identifiers (`r#type`),
+//! * numeric literals with type suffixes and exponents (`1.0e-3f32`),
+//!   lexed so that `0..n` stays an integer followed by a range operator,
+//! * multi-character operators (`::`, `+=`, `->`, `..=`, …) as single
+//!   tokens, so rules can match `+=` without reconstructing adjacency.
+//!
+//! Every token carries its 1-based line and column, and comments are
+//! ordinary tokens (rules need them: `// SAFETY:` proximity and
+//! `// ts3-lint: allow(...)` directives are comment-driven).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in mind — text keeps it).
+    Lifetime,
+    /// Integer or float literal, suffix included (`1_000u64`, `1.0e-3`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `'\''`, `b'\n'`).
+    Char,
+    /// Operator / punctuation, multi-character where Rust has one.
+    Punct,
+    /// `// …` comment (doc variants included), text without newline.
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines, text with markers.
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: &str, line: u32, col: u32) -> Token {
+        Token { kind, text: text.to_string(), line, col }
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advance one byte, tracking line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns count
+    /// characters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice(&self, from: usize) -> &'a str {
+        // The lexer only ever slices at ASCII boundaries it has
+        // itself established, and the input is a &str upstream.
+        std::str::from_utf8(&self.src[from..self.pos]).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream. Unterminated constructs (an open
+/// block comment or string at EOF) terminate the affected token at end
+/// of input rather than erroring: for a linter, producing *some* tokens
+/// for malformed input beats refusing the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek() {
+        let (line, col, start) = (lx.line, lx.col, lx.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek_at(1) == Some(b'/') => {
+                while let Some(c) = lx.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    lx.bump();
+                }
+                out.push(Token::new(TokKind::LineComment, lx.slice(start), line, col));
+            }
+            b'/' if lx.peek_at(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(), lx.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(Token::new(TokKind::BlockComment, lx.slice(start), line, col));
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&lx) => {
+                lex_string_like(&mut lx, &mut out, line, col, start);
+            }
+            b'"' => {
+                lex_quoted(&mut lx, b'"');
+                out.push(Token::new(TokKind::Str, lx.slice(start), line, col));
+            }
+            b'\'' => {
+                lex_quote_or_lifetime(&mut lx, &mut out, line, col, start);
+            }
+            _ if is_ident_start(b) => {
+                while let Some(c) = lx.peek() {
+                    if !is_ident_cont(c) {
+                        break;
+                    }
+                    lx.bump();
+                }
+                // Raw identifier: a lone `r` followed by `#ident` (the
+                // raw-string case `r#"` was ruled out above).
+                if lx.slice(start) == "r"
+                    && lx.peek() == Some(b'#')
+                    && lx.peek_at(1).is_some_and(is_ident_start)
+                {
+                    lx.bump(); // `#`
+                    while let Some(c) = lx.peek() {
+                        if !is_ident_cont(c) {
+                            break;
+                        }
+                        lx.bump();
+                    }
+                }
+                out.push(Token::new(TokKind::Ident, lx.slice(start), line, col));
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut lx);
+                out.push(Token::new(TokKind::Number, lx.slice(start), line, col));
+            }
+            _ => {
+                let rest = &lx.src[lx.pos..];
+                let multi = PUNCTS.iter().find(|p| rest.starts_with(p.as_bytes()));
+                match multi {
+                    Some(p) => lx.bump_n(p.len()),
+                    None => {
+                        lx.bump();
+                    }
+                }
+                out.push(Token::new(TokKind::Punct, lx.slice(start), line, col));
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `r#…#"`, `b"`, `b'`, `br"`,
+/// `br#…#"` — i.e. a raw/byte literal rather than a plain identifier
+/// like `radius` or a raw identifier like `r#type`?
+fn starts_raw_or_byte_literal(lx: &Lexer) -> bool {
+    let mut off = 1;
+    if lx.peek() == Some(b'b') {
+        match lx.peek_at(1) {
+            Some(b'\'') | Some(b'"') => return true,
+            Some(b'r') => off = 2,
+            _ => return false,
+        }
+    }
+    // `r` (or `br`) followed by hashes-then-quote is a raw string;
+    // `r#ident` is a raw identifier, not a literal.
+    match lx.peek_at(off) {
+        Some(b'"') => true,
+        Some(b'#') => {
+            let mut k = off;
+            while lx.peek_at(k) == Some(b'#') {
+                k += 1;
+            }
+            lx.peek_at(k) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lex a raw string / byte string / byte char starting at `r`/`b`.
+fn lex_string_like(lx: &mut Lexer, out: &mut Vec<Token>, line: u32, col: u32, start: usize) {
+    let mut is_char = false;
+    if lx.peek() == Some(b'b') {
+        lx.bump();
+        if lx.peek() == Some(b'\'') {
+            is_char = true;
+        }
+    }
+    if is_char {
+        lex_quoted(lx, b'\'');
+        out.push(Token::new(TokKind::Char, lx.slice(start), line, col));
+        return;
+    }
+    if lx.peek() == Some(b'r') {
+        lx.bump();
+    }
+    let mut guards = 0usize;
+    while lx.peek() == Some(b'#') {
+        guards += 1;
+        lx.bump();
+    }
+    if lx.peek() == Some(b'"') {
+        lx.bump();
+        // Scan for `"` followed by `guards` hashes.
+        'scan: while let Some(c) = lx.bump() {
+            if c == b'"' {
+                for k in 0..guards {
+                    if lx.peek_at(k) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                lx.bump_n(guards);
+                break;
+            }
+        }
+    }
+    out.push(Token::new(TokKind::Str, lx.slice(start), line, col));
+}
+
+/// Lex a `'…'` / `"…"` body with escape handling; the opening quote is
+/// still at the cursor.
+fn lex_quoted(lx: &mut Lexer, quote: u8) {
+    lx.bump();
+    while let Some(c) = lx.bump() {
+        if c == b'\\' {
+            lx.bump();
+        } else if c == quote {
+            break;
+        }
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime.
+fn lex_quote_or_lifetime(lx: &mut Lexer, out: &mut Vec<Token>, line: u32, col: u32, start: usize) {
+    // `'\…'` is always a char. `'x'` (quote two ahead) is a char.
+    // Otherwise `'ident` is a lifetime (`'a`, `'static`, loop labels).
+    let next = lx.peek_at(1);
+    if next == Some(b'\\') || (lx.peek_at(2) == Some(b'\'') && next != Some(b'\'')) {
+        lex_quoted(lx, b'\'');
+        out.push(Token::new(TokKind::Char, lx.slice(start), line, col));
+        return;
+    }
+    match next {
+        Some(c) if is_ident_start(c) => {
+            lx.bump(); // the quote
+            while let Some(c) = lx.peek() {
+                if !is_ident_cont(c) {
+                    break;
+                }
+                lx.bump();
+            }
+            // A closing quote right after the "ident" means this was a
+            // multi-byte char literal (`'é'`), not a lifetime.
+            if lx.peek() == Some(b'\'') {
+                lx.bump();
+                out.push(Token::new(TokKind::Char, lx.slice(start), line, col));
+            } else {
+                out.push(Token::new(TokKind::Lifetime, lx.slice(start), line, col));
+            }
+        }
+        _ => {
+            // Multi-character char literal body without a backslash can
+            // only be a unicode char: consume until the closing quote.
+            lex_quoted(lx, b'\'');
+            out.push(Token::new(TokKind::Char, lx.slice(start), line, col));
+        }
+    }
+}
+
+/// Lex a numeric literal; the leading digit is at the cursor.
+fn lex_number(lx: &mut Lexer) {
+    if lx.peek() == Some(b'0')
+        && matches!(lx.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        lx.bump_n(2);
+        while let Some(c) = lx.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                lx.bump();
+            } else {
+                break;
+            }
+        }
+        return;
+    }
+    let mut seen_exp = false;
+    while let Some(c) = lx.peek() {
+        match c {
+            b'0'..=b'9' | b'_' => {
+                lx.bump();
+            }
+            // A dot continues the number only when followed by a digit:
+            // `0..n` and `1.max(2)` must leave the dot to the caller.
+            b'.' if lx.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                lx.bump();
+            }
+            b'e' | b'E' if !seen_exp => {
+                // Exponent only if followed by digit or sign-digit;
+                // otherwise it is a suffix letter (`1e` is unusual) —
+                // take it as part of the literal either way.
+                seen_exp = true;
+                lx.bump();
+                if matches!(lx.peek(), Some(b'+') | Some(b'-'))
+                    && lx.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    lx.bump();
+                }
+            }
+            _ if is_ident_cont(c) => {
+                // Type suffix: f32, u64, usize …
+                lx.bump();
+            }
+            _ => break,
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # ts3-lint
+//!
+//! In-workspace static analysis enforcing the contracts the rest of the
+//! workspace merely promises: bit-identical parallelism, uniform FMA
+//! arithmetic, hermetic imports, no wall-clock or entropy on
+//! deterministic paths, and documented `unsafe`/abort sites.
+//!
+//! The crate is dependency-free (only `ts3-json`, for reports and
+//! config) and deliberately *not* a parser: a line/column-tracking
+//! lexer ([`lexer`]) that understands strings, raw strings, char
+//! literals vs lifetimes, nested block comments and attributes is
+//! enough for every rule here, and keeps the pass fast and robust to
+//! code the toolchain itself would reject.
+//!
+//! ## Rules
+//!
+//! | id | contract |
+//! |---|---|
+//! | `unsafe-needs-safety` | every `unsafe` is preceded by `// SAFETY:` |
+//! | `no-hashmap-in-lib` | no `HashMap`/`HashSet` in library code |
+//! | `no-wallclock-or-entropy` | no `Instant::now`/`SystemTime::now` outside timing modules; no `rand`/`getrandom` |
+//! | `no-unwrap-in-lib` | `.unwrap()`/`.expect(`/`panic!` in lib code need a reasoned allow |
+//! | `fma-policy` | `acc += a * b` float folds in hot-loop files must be `mul_add` |
+//! | `hermetic-imports` | imports may only name std/core/alloc or `ts3*` crates |
+//! | `allow-needs-reason` | every allow directive carries a reason |
+//! | `unused-allow` | stale allow directives are reported |
+//!
+//! ## Suppression
+//!
+//! ```text
+//! // ts3-lint: allow(no-unwrap-in-lib) mutex poisoning means a sibling already panicked
+//! let guard = cache.lock().unwrap();
+//! ```
+//!
+//! A directive on its own line covers the next code line; a trailing
+//! directive covers its own line. `allow(no-unwrap)` is accepted as an
+//! alias for `allow(no-unwrap-in-lib)`.
+//!
+//! ## Entry points
+//!
+//! [`lint_workspace`] walks the configured roots and returns
+//! diagnostics plus the file count; the `ts3lint` binary renders them
+//! rustc-style or as a `ts3.lint.v1` JSON document (`--json`).
+
+pub mod config;
+pub mod diag;
+mod engine;
+pub mod lexer;
+mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use diag::{report, Diagnostic, Severity};
+pub use engine::{lint_file as lint_tokens, FileCtx, ALL_RULES};
+pub use walk::{classify, discover, FileKind, SourceFile};
+
+use std::path::Path;
+
+/// Lint a single source text under a workspace-relative identity.
+pub fn lint_source(
+    rel_path: &str,
+    kind: FileKind,
+    src: &str,
+    cfg: &Config,
+    selected: &[String],
+) -> Vec<Diagnostic> {
+    let ctx = FileCtx::new(rel_path, kind, src, cfg);
+    engine::lint_file(&ctx, selected)
+}
+
+/// Lint every `.rs` file under the configured roots of
+/// `workspace_root`. Returns the diagnostics (sorted by path, then
+/// position) and the number of files checked.
+///
+/// `selected` restricts to the named rules; empty runs everything.
+pub fn lint_workspace(
+    workspace_root: &Path,
+    cfg: &Config,
+    selected: &[String],
+) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = discover(workspace_root, cfg)?;
+    let mut diags = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs_path)?;
+        diags.extend(lint_source(&f.rel_path, f.kind, &src, cfg, selected));
+    }
+    Ok((diags, files.len()))
+}

@@ -1,0 +1,393 @@
+//! The contract rules. Each rule is a free function over a
+//! [`FileCtx`]; scoping (which file kinds, which paths) lives here so
+//! the engine stays generic.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::{FileCtx, SAFETY_MARKERS};
+use crate::lexer::TokKind;
+use crate::walk::FileKind;
+
+/// Path roots every workspace file may import from. Everything else —
+/// any crates.io name, including dev-dependencies — breaks hermeticity.
+const ALLOWED_IMPORT_ROOTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+
+/// **unsafe-needs-safety** — every `unsafe` keyword (block, fn, impl,
+/// trait) must be justified by a `// SAFETY:` comment (or a rustdoc
+/// `# Safety` section) on the same line or in the contiguous
+/// comment/attribute run immediately above. Applies to every file,
+/// tests included: test-only unsafe (e.g. a counting global allocator)
+/// carries the same obligations.
+pub fn unsafe_needs_safety(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for t in &ctx.tokens {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if has_safety_comment(ctx, t.line) {
+            continue;
+        }
+        out.push(ctx.diag(
+            "unsafe-needs-safety",
+            Severity::Error,
+            t,
+            "`unsafe` without a `// SAFETY:` comment",
+            "state the aliasing/lifetime/contract argument the unsafe code relies on \
+             in a `// SAFETY:` comment directly above",
+        ));
+    }
+}
+
+/// Is there a safety marker on `line` or in the contiguous
+/// comment/attribute block directly above it?
+fn has_safety_comment(ctx: &FileCtx, line: u32) -> bool {
+    let marked = |l: u32| {
+        ctx.lines
+            .get(l as usize)
+            .is_some_and(|info| {
+                info.comments.iter().any(|&i| {
+                    let text = &ctx.tokens[i].text;
+                    SAFETY_MARKERS.iter().any(|m| text.contains(m))
+                })
+            })
+    };
+    if marked(line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        if marked(l) {
+            return true;
+        }
+        let Some(info) = ctx.lines.get(l as usize) else { break };
+        let comment_only = !info.has_code && !info.comments.is_empty();
+        // Walk past pure-comment lines and attribute lines; any other
+        // line (code or blank) terminates the contiguous block.
+        if !comment_only && !(info.has_code && info.attr_start) {
+            break;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// **no-hashmap-in-lib** — `HashMap`/`HashSet` are banned in library
+/// code: their iteration order varies per process (`RandomState`), and
+/// iteration-order nondeterminism is exactly the class of bug the
+/// workspace's bit-identical contracts exist to prevent. Use `BTreeMap`
+/// / `BTreeSet` / `Vec` instead.
+pub fn no_hashmap_in_lib(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for t in &ctx.tokens {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(ctx.diag(
+                "no-hashmap-in-lib",
+                Severity::Error,
+                t,
+                format!("`{}` in library code (iteration order is nondeterministic)", t.text),
+                "use BTreeMap/BTreeSet (ordered) or a Vec; or justify with \
+                 `// ts3-lint: allow(no-hashmap-in-lib) <reason>`",
+            ));
+        }
+    }
+}
+
+/// **no-wallclock-or-entropy** — `Instant::now` / `SystemTime::now`
+/// outside the allowlisted timing modules, and any `rand`/`getrandom`
+/// import, are errors: deterministic paths must not observe wall-clock
+/// time or ambient entropy.
+pub fn no_wallclock_or_entropy(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let clock_allowed = ctx.cfg.wallclock_allow.iter().any(|p| p == ctx.rel_path);
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !clock_allowed && (t.text == "Instant" || t.text == "SystemTime") {
+            let colon = ctx.next_code(i + 1);
+            let method = colon.and_then(|c| ctx.next_code(c + 1));
+            let is_now = colon
+                .zip(method)
+                .is_some_and(|(c, m)| {
+                    ctx.tokens[c].text == "::" && ctx.tokens[m].text == "now"
+                });
+            if is_now {
+                out.push(ctx.diag(
+                    "no-wallclock-or-entropy",
+                    Severity::Error,
+                    t,
+                    format!("`{}::now` outside the timing substrate", t.text),
+                    "wall-clock reads belong in the allowlisted ts3-obs/ts3-bench timing \
+                     modules (ts3lint.json `wallclock_allow`); deterministic code must \
+                     not observe time",
+                ));
+            }
+        }
+        if t.text == "rand" || t.text == "getrandom" {
+            let next_is_path = ctx
+                .next_code(i + 1)
+                .is_some_and(|n| ctx.tokens[n].text == "::");
+            let prev = if i == 0 { None } else { ctx.prev_code(i - 1) };
+            let prev_is_import = prev.is_some_and(|p| {
+                ctx.tokens[p].text == "use" || ctx.tokens[p].text == "crate"
+            });
+            if next_is_path || prev_is_import {
+                out.push(ctx.diag(
+                    "no-wallclock-or-entropy",
+                    Severity::Error,
+                    t,
+                    format!("`{}` is ambient entropy", t.text),
+                    "seed ts3-rng streams explicitly instead",
+                ));
+            }
+        }
+    }
+}
+
+/// **no-unwrap-in-lib** — `.unwrap()`, `.expect(…)` and `panic!` in
+/// non-test library code must carry a
+/// `// ts3-lint: allow(no-unwrap-in-lib) <reason>` directive: every
+/// abort point in code that production binaries link should be a
+/// documented decision, not a reflex.
+pub fn no_unwrap_in_lib(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Ident || ctx.in_test_code(t.line) {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let prev = if i == 0 { None } else { ctx.prev_code(i - 1) };
+                let next = ctx.next_code(i + 1);
+                prev.is_some_and(|p| ctx.tokens[p].text == ".")
+                    && next.is_some_and(|n| ctx.tokens[n].text == "(")
+            }
+            "panic" => ctx
+                .next_code(i + 1)
+                .is_some_and(|n| ctx.tokens[n].text == "!"),
+            _ => false,
+        };
+        if flagged {
+            out.push(ctx.diag(
+                "no-unwrap-in-lib",
+                Severity::Error,
+                t,
+                format!("`{}` in library code without an allow directive", t.text),
+                "return a Result with context, or annotate why aborting is correct: \
+                 `// ts3-lint: allow(no-unwrap-in-lib) <reason>`",
+            ));
+        }
+    }
+}
+
+/// **fma-policy** — in the configured hot-loop files, a compound float
+/// fold written `acc += a * b` (or `acc -= a * b`) must instead use
+/// `mul_add`: the workspace's bit-identical determinism contract pins
+/// every kernel to uniform FMA arithmetic (two roundings, identical on
+/// every path), and a stray `+=`/`*` fold silently reintroduces the
+/// three-rounding form. Token-level heuristic; index arithmetic that
+/// trips it is allowlistable per site.
+pub fn fma_policy(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.cfg.fma_files.iter().any(|p| p == ctx.rel_path) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Punct || !(t.text == "+=" || t.text == "-=") {
+            continue;
+        }
+        if ctx.in_test_code(t.line) {
+            continue;
+        }
+        // Scan the right-hand side up to the statement end for a
+        // binary `*` at the statement's own nesting depth.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(k) = ctx.next_code(j) {
+            let tok = &ctx.tokens[k];
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" | "," if depth == 0 => break,
+                "*" if depth == 0 => {
+                    let is_binary = ctx.prev_code(k - 1).is_some_and(|p| {
+                        let pt = &ctx.tokens[p];
+                        matches!(pt.kind, TokKind::Ident | TokKind::Number)
+                            || pt.text == ")"
+                            || pt.text == "]"
+                    });
+                    if is_binary {
+                        out.push(ctx.diag(
+                            "fma-policy",
+                            Severity::Error,
+                            t,
+                            format!("`{} a * b` fold in an FMA-policy file", t.text),
+                            "write `acc = a.mul_add(b, acc)` so the fold uses the \
+                             uniform two-rounding FMA form; allowlist integer index \
+                             arithmetic with `// ts3-lint: allow(fma-policy) <reason>`",
+                        ));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j = k + 1;
+        }
+    }
+}
+
+/// **hermetic-imports** — `use`/`extern crate` may only name `std`,
+/// `core`, `alloc`, path keywords, or in-workspace `ts3*` crates. This
+/// is the source-level replacement for the `cargo tree` grep in
+/// verify.sh gate 4, and unlike that grep it also catches
+/// dev-dependencies and doc(hidden) leaks.
+pub fn hermetic_imports(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    // Uniform paths (edition ≥2018) let `use` start from any name in
+    // scope: `mod parse; pub use parse::ParseError;` or
+    // `use std::fmt; … use fmt::Write as _;` are legal and hermetic.
+    // Collect those in-scope names first so only genuinely external
+    // roots are flagged.
+    let scope = in_scope_names(ctx);
+    let mut i = 0;
+    while i < ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        if t.text == "extern" {
+            let kw = ctx.next_code(i + 1);
+            let name = kw.and_then(|k| ctx.next_code(k + 1));
+            if let (Some(k), Some(n)) = (kw, name) {
+                if ctx.tokens[k].text == "crate" && ctx.tokens[n].kind == TokKind::Ident {
+                    check_root(ctx, n, &scope, out);
+                }
+            }
+        } else if t.text == "use" {
+            i = check_use_tree(ctx, i + 1, &scope, out);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Names usable as a `use` root besides the allowed ones: modules
+/// declared in this file, and every identifier appearing in a `use`
+/// statement whose own root is allowed (an over-approximation of what
+/// such a statement can bring into scope — leaf names and `as`
+/// aliases included).
+fn in_scope_names(ctx: &FileCtx) -> Vec<String> {
+    let mut scope = Vec::new();
+    let mut i = 0;
+    while i < ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        if t.text == "mod" {
+            if let Some(n) = ctx.next_code(i + 1) {
+                if ctx.tokens[n].kind == TokKind::Ident {
+                    scope.push(ctx.tokens[n].text.clone());
+                }
+            }
+        } else if t.text == "use" {
+            // Gather the statement's tokens up to `;`.
+            let mut idents = Vec::new();
+            let mut j = i + 1;
+            while let Some(k) = ctx.next_code(j) {
+                let tok = &ctx.tokens[k];
+                if tok.text == ";" {
+                    break;
+                }
+                if tok.kind == TokKind::Ident {
+                    idents.push(tok.text.clone());
+                }
+                j = k + 1;
+            }
+            let root_allowed = idents.first().is_some_and(|r| {
+                let r = r.strip_prefix("r#").unwrap_or(r);
+                ALLOWED_IMPORT_ROOTS.contains(&r) || r.starts_with("ts3")
+            });
+            if root_allowed {
+                scope.extend(idents);
+            }
+        }
+        i += 1;
+    }
+    scope
+}
+
+/// Check the root segment(s) of a use tree starting after the `use`
+/// keyword; returns the index to resume scanning from. Handles
+/// `use a::b;`, `use ::a;`, and top-level groups `use {a::x, b::y};`.
+fn check_use_tree(ctx: &FileCtx, from: usize, scope: &[String], out: &mut Vec<Diagnostic>) -> usize {
+    let Some(first) = ctx.next_code(from) else { return from };
+    let mut i = first;
+    if ctx.tokens[i].text == "::" {
+        i = match ctx.next_code(i + 1) {
+            Some(n) => n,
+            None => return i,
+        };
+    }
+    if ctx.tokens[i].text == "{" {
+        // Top-level group: the first ident after `{` or each top-level
+        // `,` is a root.
+        let mut depth = 1i32;
+        let mut expect_root = true;
+        let mut j = i + 1;
+        while let Some(k) = ctx.next_code(j) {
+            let tok = &ctx.tokens[k];
+            match tok.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                "," if depth == 1 => expect_root = true,
+                _ => {
+                    if expect_root && tok.kind == TokKind::Ident {
+                        check_root(ctx, k, scope, out);
+                    }
+                    expect_root = false;
+                }
+            }
+            j = k + 1;
+        }
+        return j;
+    }
+    if ctx.tokens[i].kind == TokKind::Ident {
+        check_root(ctx, i, scope, out);
+    }
+    i + 1
+}
+
+/// Report token `i` unless it is an allowed import root.
+fn check_root(ctx: &FileCtx, i: usize, scope: &[String], out: &mut Vec<Diagnostic>) {
+    let t = &ctx.tokens[i];
+    let name = t.text.strip_prefix("r#").unwrap_or(&t.text);
+    if ALLOWED_IMPORT_ROOTS.contains(&name)
+        || name.starts_with("ts3")
+        || scope.iter().any(|s| s == name)
+    {
+        return;
+    }
+    out.push(ctx.diag(
+        "hermetic-imports",
+        Severity::Error,
+        t,
+        format!("import of non-workspace crate `{name}`"),
+        "this workspace is hermetic: only std/core/alloc and in-tree ts3* crates \
+         may be imported (see DESIGN.md §5)",
+    ));
+}

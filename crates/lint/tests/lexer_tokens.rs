@@ -1,0 +1,136 @@
+//! Known-answer tests for the lexer: the exact token streams for the
+//! Rust constructs the rules depend on getting right — raw strings,
+//! nested block comments, escaped char literals, and the
+//! lifetime-vs-char-literal split.
+
+use ts3_lint::lexer::{lex, TokKind, Token};
+
+/// Compact (kind, text) view of a token stream.
+fn kinds(tokens: &[Token]) -> Vec<(TokKind, &str)> {
+    tokens.iter().map(|t| (t.kind, t.text.as_str())).collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_hashes() {
+    let toks = lex(r####"let s = r#"say "hi" \n"# ;"####);
+    assert_eq!(
+        kinds(&toks),
+        vec![
+            (TokKind::Ident, "let"),
+            (TokKind::Ident, "s"),
+            (TokKind::Punct, "="),
+            (TokKind::Str, r####"r#"say "hi" \n"#"####),
+            (TokKind::Punct, ";"),
+        ]
+    );
+    // Two guard hashes, and an unescaped `"#` inside that must not end
+    // the literal early.
+    let toks = lex(r#####"r##"has "# inside"##"#####);
+    assert_eq!(kinds(&toks), vec![(TokKind::Str, r#####"r##"has "# inside"##"#####)]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_string_tokens() {
+    let toks = lex(r###"(b"bytes", br#"raw "b" ytes"#, b'x')"###);
+    assert_eq!(
+        kinds(&toks),
+        vec![
+            (TokKind::Punct, "("),
+            (TokKind::Str, r#"b"bytes""#),
+            (TokKind::Punct, ","),
+            (TokKind::Str, r###"br#"raw "b" ytes"#"###),
+            (TokKind::Punct, ","),
+            (TokKind::Char, "b'x'"),
+            (TokKind::Punct, ")"),
+        ]
+    );
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let toks = lex("a /* outer /* inner */ still comment */ b");
+    assert_eq!(
+        kinds(&toks),
+        vec![
+            (TokKind::Ident, "a"),
+            (TokKind::BlockComment, "/* outer /* inner */ still comment */"),
+            (TokKind::Ident, "b"),
+        ]
+    );
+}
+
+#[test]
+fn escaped_quote_char_literal_is_one_token() {
+    // `'\''` is the single-quote char literal — the escape must keep the
+    // lexer from treating the middle quote as a terminator.
+    let toks = lex(r"let q = '\''; let nl = '\n';");
+    assert_eq!(
+        kinds(&toks),
+        vec![
+            (TokKind::Ident, "let"),
+            (TokKind::Ident, "q"),
+            (TokKind::Punct, "="),
+            (TokKind::Char, r"'\''"),
+            (TokKind::Punct, ";"),
+            (TokKind::Ident, "let"),
+            (TokKind::Ident, "nl"),
+            (TokKind::Punct, "="),
+            (TokKind::Char, r"'\n'"),
+            (TokKind::Punct, ";"),
+        ]
+    );
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    // `'a` in a generic list is a lifetime; `'a'` is a char. Both appear
+    // here and must produce different token kinds.
+    let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<&Token> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+    let chars: Vec<&Token> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{toks:?}");
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    assert_eq!(chars.len(), 1);
+    assert_eq!(chars[0].text, "'a'");
+}
+
+#[test]
+fn numbers_with_ranges_suffixes_and_exponents() {
+    // `0..n` must lex as number, `..`, ident — not a malformed float.
+    let toks = lex("for i in 0..n { x += 1.5e-3f32 + 0xFF_u8 as f32; }");
+    let texts: Vec<&str> =
+        toks.iter().filter(|t| t.kind == TokKind::Number).map(|t| t.text.as_str()).collect();
+    assert_eq!(texts, vec!["0", "1.5e-3f32", "0xFF_u8"]);
+    assert!(toks.iter().any(|t| t.kind == TokKind::Punct && t.text == ".."));
+}
+
+#[test]
+fn line_and_column_positions_are_one_based() {
+    let toks = lex("ab\n  cd");
+    assert_eq!((toks[0].line, toks[0].col), (1, 1));
+    assert_eq!((toks[1].line, toks[1].col), (2, 3));
+}
+
+#[test]
+fn multi_char_operators_stay_single_tokens() {
+    let toks = lex("a <<= b >>= c ..= d :: e -> f => g && h");
+    let puncts: Vec<&str> =
+        toks.iter().filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str()).collect();
+    assert_eq!(puncts, vec!["<<=", ">>=", "..=", "::", "->", "=>", "&&"]);
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    let toks = lex("let r#type = r#match;");
+    let idents: Vec<&str> =
+        toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+    assert_eq!(idents, vec!["let", "r#type", "r#match"]);
+}
+
+#[test]
+fn strings_with_escapes_do_not_leak_terminators() {
+    let toks = lex(r#"let s = "quote \" slash \\"; done"#);
+    assert_eq!(toks[3].kind, TokKind::Str);
+    assert_eq!(toks[3].text, r#""quote \" slash \\""#);
+    assert_eq!(toks.last().unwrap().text, "done");
+}

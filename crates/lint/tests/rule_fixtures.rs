@@ -1,0 +1,140 @@
+//! Each rule must fire on a seeded violation and stay quiet on the
+//! compliant spelling — the gate-7 acceptance story in miniature.
+
+use ts3_lint::{lint_source, Config, FileKind, Severity};
+
+fn lint_lib(src: &str) -> Vec<ts3_lint::Diagnostic> {
+    lint_source("crates/demo/src/lib.rs", FileKind::Lib, src, &Config::default(), &[])
+}
+
+fn rules(diags: &[ts3_lint::Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn unsafe_needs_safety_fires_and_clears() {
+    let bad = "pub fn deref(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules(&lint_lib(bad)), vec!["unsafe-needs-safety"]);
+
+    let good = "pub fn deref(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+    assert!(lint_lib(good).is_empty(), "{:?}", lint_lib(good));
+}
+
+#[test]
+fn no_hashmap_fires_in_lib_but_not_in_tests() {
+    let src = "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    let diags = lint_lib(src);
+    assert!(diags.iter().all(|d| d.rule == "no-hashmap-in-lib"), "{diags:?}");
+    assert!(!diags.is_empty());
+
+    let in_test =
+        lint_source("crates/demo/tests/t.rs", FileKind::Test, src, &Config::default(), &[]);
+    assert!(in_test.is_empty(), "{in_test:?}");
+}
+
+#[test]
+fn wallclock_fires_outside_allowlist_only() {
+    let src = "pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    assert_eq!(rules(&lint_lib(src)), vec!["no-wallclock-or-entropy"]);
+
+    let mut cfg = Config::default();
+    cfg.wallclock_allow.push("crates/demo/src/timing.rs".into());
+    let allowed = lint_source("crates/demo/src/timing.rs", FileKind::Lib, src, &cfg, &[]);
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn entropy_imports_are_errors() {
+    let diags = lint_lib("use rand::Rng;\n");
+    let r = rules(&diags);
+    assert!(r.contains(&"no-wallclock-or-entropy"), "{diags:?}");
+}
+
+#[test]
+fn unwrap_fires_in_lib_not_in_test_mod_and_suppresses() {
+    let bad = "pub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n";
+    assert_eq!(rules(&lint_lib(bad)), vec!["no-unwrap-in-lib"]);
+
+    // The same call inside #[cfg(test)] is out of scope.
+    let test_mod = "#[cfg(test)]\nmod tests {\n    fn f(v: Vec<u32>) -> u32 {\n        *v.first().unwrap()\n    }\n}\n";
+    assert!(lint_lib(test_mod).is_empty());
+
+    // A reasoned allow (using the short alias) suppresses it cleanly.
+    let allowed = "pub fn f(v: Vec<u32>) -> u32 {\n    // ts3-lint: allow(no-unwrap) caller guarantees non-empty input\n    *v.first().unwrap()\n}\n";
+    assert!(lint_lib(allowed).is_empty(), "{:?}", lint_lib(allowed));
+}
+
+#[test]
+fn fma_policy_fires_only_in_configured_files() {
+    let src = "pub fn dot(a: &[f32], b: &[f32]) -> f32 {\n    let mut acc = 0.0;\n    for i in 0..a.len() {\n        acc += a[i] * b[i];\n    }\n    acc\n}\n";
+    let mut cfg = Config::default();
+    cfg.fma_files.push("crates/demo/src/gemm.rs".into());
+    let hot = lint_source("crates/demo/src/gemm.rs", FileKind::Lib, src, &cfg, &[]);
+    assert_eq!(rules(&hot), vec!["fma-policy"]);
+
+    // Same code outside the configured hot files: no finding.
+    let cold = lint_source("crates/demo/src/lib.rs", FileKind::Lib, src, &cfg, &[]);
+    assert!(cold.is_empty(), "{cold:?}");
+
+    // The compliant spelling passes even in hot files.
+    let fixed = "pub fn dot(a: &[f32], b: &[f32]) -> f32 {\n    let mut acc = 0.0f32;\n    for i in 0..a.len() {\n        acc = a[i].mul_add(b[i], acc);\n    }\n    acc\n}\n";
+    let ok = lint_source("crates/demo/src/gemm.rs", FileKind::Lib, fixed, &cfg, &[]);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn hermetic_imports_allow_std_ts3_and_locals_only() {
+    assert_eq!(rules(&lint_lib("use serde::Serialize;\n")), vec!["hermetic-imports"]);
+    assert_eq!(rules(&lint_lib("extern crate libc;\n")), vec!["hermetic-imports"]);
+    let ok = "use std::fmt;\nuse core::cell::Cell;\nuse ts3_json::Json;\nuse crate::thing;\nmod parse;\nuse parse::ParseError;\nuse fmt::Write as _;\n";
+    assert!(lint_lib(ok).is_empty(), "{:?}", lint_lib(ok));
+}
+
+#[test]
+fn allow_without_reason_is_an_error() {
+    let src = "pub fn f(v: Vec<u32>) -> u32 {\n    // ts3-lint: allow(no-unwrap-in-lib)\n    *v.first().unwrap()\n}\n";
+    let diags = lint_lib(src);
+    assert!(rules(&diags).contains(&"allow-needs-reason"), "{diags:?}");
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn unused_allow_is_a_warning() {
+    let src = "// ts3-lint: allow(no-unwrap-in-lib) nothing here actually unwraps\npub fn f() -> u32 {\n    7\n}\n";
+    let diags = lint_lib(src);
+    assert_eq!(rules(&diags), vec!["unused-allow"]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn unknown_rule_in_allow_is_an_error() {
+    let src = "// ts3-lint: allow(no-such-rule) because reasons\npub fn f() -> u32 {\n    7\n}\n";
+    let diags = lint_lib(src);
+    assert!(rules(&diags).contains(&"allow-needs-reason"), "{diags:?}");
+}
+
+#[test]
+fn trailing_directive_covers_its_own_line() {
+    let src = "pub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap() // ts3-lint: allow(no-unwrap) validated above\n}\n";
+    assert!(lint_lib(src).is_empty(), "{:?}", lint_lib(src));
+}
+
+#[test]
+fn rule_selection_restricts_output() {
+    let src = "use std::collections::HashMap;\npub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n";
+    let only_unwrap = lint_source(
+        "crates/demo/src/lib.rs",
+        FileKind::Lib,
+        src,
+        &Config::default(),
+        &["no-unwrap-in-lib".to_string()],
+    );
+    assert_eq!(rules(&only_unwrap), vec!["no-unwrap-in-lib"]);
+}
+
+#[test]
+fn bin_and_example_code_skips_lib_only_rules() {
+    let src = "use std::collections::HashMap;\npub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n";
+    let diags = lint_source("src/bin/tool.rs", FileKind::Bin, src, &Config::default(), &[]);
+    assert!(diags.is_empty(), "{diags:?}");
+}

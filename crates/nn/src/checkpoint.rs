@@ -32,20 +32,26 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Snapshot the current values of a parameter list.
     ///
-    /// # Panics
-    /// Panics if two parameters share a name (checkpoints would silently
-    /// drop one otherwise).
-    pub fn capture(params: &[Param]) -> Checkpoint {
+    /// Returns an error naming the first duplicated parameter name —
+    /// a checkpoint keyed by name would silently drop one of the two
+    /// tensors otherwise, and the caller (a user-supplied model) is in
+    /// a far better position to fix its naming than an abort is.
+    pub fn capture(params: &[Param]) -> Result<Checkpoint, String> {
         let mut map = BTreeMap::new();
         for p in params {
             let rec = TensorRecord {
                 shape: p.shape(),
                 data: p.value().as_slice().to_vec(),
             };
-            let prev = map.insert(p.name().to_string(), rec);
-            assert!(prev.is_none(), "duplicate parameter name `{}`", p.name());
+            if map.insert(p.name().to_string(), rec).is_some() {
+                return Err(format!(
+                    "cannot checkpoint: duplicate parameter name `{}` \
+                     (checkpoints are keyed by name and would drop one tensor)",
+                    p.name()
+                ));
+            }
         }
-        Checkpoint { params: map }
+        Ok(Checkpoint { params: map })
     }
 
     /// Restore the snapshot into a parameter list (matched by name).
@@ -155,7 +161,7 @@ mod tests {
     #[test]
     fn capture_restore_round_trip() {
         let ps = params();
-        let snap = Checkpoint::capture(&ps);
+        let snap = Checkpoint::capture(&ps).unwrap();
         assert_eq!(snap.numel(), 6);
         // Mutate, then restore.
         ps[0].set_value(Tensor::zeros(&[2]));
@@ -165,7 +171,7 @@ mod tests {
 
     #[test]
     fn restore_rejects_missing_and_mismatched() {
-        let snap = Checkpoint::capture(&params()[..1]);
+        let snap = Checkpoint::capture(&params()[..1]).unwrap();
         let other = vec![Param::new("c", Tensor::zeros(&[1]))];
         assert!(snap.restore(&other).unwrap_err().contains("missing"));
         let wrong = vec![Param::new("a", Tensor::zeros(&[3]))];
@@ -178,7 +184,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
         let ps = params();
-        Checkpoint::capture(&ps).save(&path).unwrap();
+        Checkpoint::capture(&ps).unwrap().save(&path).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         ps[1].set_value(Tensor::zeros(&[2, 2]));
         loaded.restore(&ps).unwrap();
@@ -190,7 +196,7 @@ mod tests {
     fn json_round_trip_preserves_awkward_f32s() {
         let values = vec![0.1f32, -0.0, f32::MIN_POSITIVE, 1e-40, f32::MAX, 1.0 / 3.0];
         let ps = vec![Param::new("w", Tensor::from_vec(values.clone(), &[6]))];
-        let snap = Checkpoint::capture(&ps);
+        let snap = Checkpoint::capture(&ps).unwrap();
         let back = Checkpoint::from_json(&Json::parse(&snap.to_json().to_string()).unwrap())
             .unwrap();
         let got = &back.params["w"].data;
@@ -218,12 +224,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate parameter name")]
-    fn duplicate_names_panic() {
+    fn duplicate_names_are_an_error() {
         let ps = vec![
             Param::new("x", Tensor::zeros(&[1])),
             Param::new("x", Tensor::zeros(&[1])),
         ];
-        let _ = Checkpoint::capture(&ps);
+        let err = Checkpoint::capture(&ps).unwrap_err();
+        assert!(err.contains("duplicate parameter name `x`"), "{err}");
     }
 }

@@ -41,6 +41,7 @@ impl InceptionBlock {
                 None => y,
             });
         }
+        // ts3-lint: allow(no-unwrap-in-lib) the kernel list is non-empty by construction, so the fold always produces a value
         acc.expect("at least one kernel").mul_scalar(1.0 / convs.len() as f32)
     }
 }

@@ -52,6 +52,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !gate::enabled() {
         return;
     }
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
     let mut r = registry().lock().unwrap();
     match r.counters.iter_mut().find(|(k, _)| *k == name) {
         Some((_, v)) => *v += delta,
@@ -66,6 +67,7 @@ pub fn gauge_set(name: &'static str, value: f64) {
     if !gate::enabled() {
         return;
     }
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
     let mut r = registry().lock().unwrap();
     match r.gauges.iter_mut().find(|(k, _)| *k == name) {
         Some((_, v)) => *v = value,
@@ -86,6 +88,7 @@ pub fn observe(name: &'static str, value: f64) {
         return;
     }
     let idx = bucket_index(value);
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
     let mut r = registry().lock().unwrap();
     let hi = match r.hists.iter().position(|(k, _)| *k == name) {
         Some(i) => i,
@@ -117,6 +120,7 @@ pub struct MetricsSnapshot {
 
 /// Snapshot the registry (sorted by name within each family).
 pub fn metrics_snapshot() -> MetricsSnapshot {
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
     let r = registry().lock().unwrap();
     let mut snap = MetricsSnapshot {
         counters: r.counters.clone(),
@@ -131,6 +135,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 
 /// Clear every counter, gauge and histogram.
 pub fn reset_metrics() {
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
     let mut r = registry().lock().unwrap();
     r.counters.clear();
     r.gauges.clear();

@@ -234,6 +234,7 @@ impl Drop for Span {
                 .collect();
             eprintln!("[ts3 span] {} {:.3}ms{}", rec.name, dur_ns as f64 / 1e6, fields);
         }
+        // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
         let mut c = collector().lock().unwrap();
         if c.spans.len() < max_spans() {
             c.spans.push(rec);
@@ -281,6 +282,7 @@ pub fn event(name: &'static str, fill: impl FnOnce(&mut Fields)) {
             rec.fields.iter().map(|(k, v)| format!(" {k}={}", v.render())).collect();
         eprintln!("[ts3 event] {}{}", rec.name, fields);
     }
+    // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
     let mut c = collector().lock().unwrap();
     if c.events.len() < MAX_EVENTS {
         c.events.push(rec);
@@ -293,12 +295,14 @@ pub fn event(name: &'static str, fill: impl FnOnce(&mut Fields)) {
 /// events are in record order (span record order = completion order;
 /// ids give creation order).
 pub fn snapshot_records() -> (Vec<SpanRec>, Vec<EventRec>, u64) {
+    // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
     let c = collector().lock().unwrap();
     (c.spans.clone(), c.events.clone(), c.dropped)
 }
 
 /// Clear all recorded spans and events.
 pub fn reset_trace() {
+    // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
     let mut c = collector().lock().unwrap();
     c.spans.clear();
     c.events.clear();

@@ -10,16 +10,26 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator — every pointer,
+// layout and length reaches `System` unchanged, so `System`'s own
+// GlobalAlloc guarantees carry over verbatim. The only added behaviour
+// is a SeqCst counter bump, which touches no allocator state.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System.alloc` unchanged;
+    // the returned pointer is whatever `System` produced.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::SeqCst);
         System.alloc(layout)
     }
 
+    // SAFETY: the caller promises `ptr`/`layout` came from this
+    // allocator, which is `System` underneath — forwarding is sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same pass-through argument as `dealloc`; `System.realloc`
+    // receives the caller's pointer, layout and size untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::SeqCst);
         System.realloc(ptr, layout, new_size)

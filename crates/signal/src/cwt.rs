@@ -300,7 +300,9 @@ impl CwtPlan {
             let row = &w[i * self.t_len..(i + 1) * self.t_len];
             let mut j = 0;
             while j + LANES <= self.t_len {
+                // ts3-lint: allow(no-unwrap-in-lib) slice length is exactly LANES by the loop stride; conversion cannot fail
                 let d: &mut [f32; LANES] = (&mut out[j..j + LANES]).try_into().unwrap();
+                // ts3-lint: allow(no-unwrap-in-lib) slice length is exactly LANES by the loop stride; conversion cannot fail
                 let s: &[f32; LANES] = (&row[j..j + LANES]).try_into().unwrap();
                 for l in 0..LANES {
                     d[l] = s[l].mul_add(wi, d[l]);

@@ -105,6 +105,7 @@ pub fn central_frequency(kind: WaveletKind) -> f32 {
     let peak = amp[1..half]
         .iter()
         .enumerate()
+        // ts3-lint: allow(no-unwrap-in-lib) scores are sums of finite f32s, so partial_cmp is always Some
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i + 1)
         .unwrap_or(1);

@@ -148,31 +148,37 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_add`].
     pub fn add(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_add(rhs).expect("add: incompatible shapes")
     }
 
     /// Panicking wrapper over [`Tensor::try_sub`].
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_sub(rhs).expect("sub: incompatible shapes")
     }
 
     /// Panicking wrapper over [`Tensor::try_mul`].
     pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_mul(rhs).expect("mul: incompatible shapes")
     }
 
     /// Panicking wrapper over [`Tensor::try_div`].
     pub fn div(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_div(rhs).expect("div: incompatible shapes")
     }
 
     /// Broadcasting elementwise maximum.
     pub fn maximum(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.zip_broadcast(rhs, "maximum", f32::max).expect("maximum: incompatible shapes")
     }
 
     /// Broadcasting elementwise minimum.
     pub fn minimum(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.zip_broadcast(rhs, "minimum", f32::min).expect("minimum: incompatible shapes")
     }
 

@@ -207,6 +207,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_matmul`].
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_matmul(rhs).expect("matmul: incompatible shapes")
     }
 
@@ -308,6 +309,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_matmul_tb`].
     pub fn matmul_tb(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_matmul_tb(rhs).expect("matmul_tb: incompatible shapes")
     }
 
@@ -384,6 +386,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_matmul_ta`].
     pub fn matmul_ta(&self, rhs: &Tensor) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the shape contract is this method's # Panics section
         self.try_matmul_ta(rhs).expect("matmul_ta: incompatible shapes")
     }
 
@@ -415,6 +418,7 @@ impl Tensor {
                 }
                 Tensor { data, shape: vec![b, n, m] }
             }
+            // ts3-lint: allow(no-unwrap-in-lib) documented # Panics contract: transpose supports rank 2/3 only
             r => panic!("transpose: expected rank 2 or 3 tensor, got rank {r}"),
         }
     }
@@ -451,6 +455,7 @@ impl Tensor {
                     break;
                 }
                 coords[ax] = 0;
+                // ts3-lint: allow(fma-policy) usize stride walk, not a float accumulation; mul_add does not apply to integers
                 src -= walk[ax] * out_shape[ax];
             }
         }

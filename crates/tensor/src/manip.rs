@@ -16,6 +16,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_reshape`].
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the bounds contract is this method's # Panics section
         self.try_reshape(shape).expect("reshape: element count mismatch")
     }
 
@@ -66,6 +67,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_narrow`].
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the bounds contract is this method's # Panics section
         self.try_narrow(axis, start, len).expect("narrow: range out of bounds")
     }
 
@@ -132,6 +134,7 @@ impl Tensor {
 
     /// Panicking wrapper over [`Tensor::try_concat`].
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the bounds contract is this method's # Panics section
         Self::try_concat(tensors, axis).expect("concat: incompatible inputs")
     }
 

@@ -176,6 +176,10 @@ unsafe fn trampoline<F: Fn(usize, &mut [f32]) + Sync>(
 /// One block of work, type-erased so the long-lived worker threads can
 /// run closures borrowed from a dispatcher's stack frame.
 struct Job {
+    // SAFETY: callers of `run` must uphold `trampoline`'s contract —
+    // `ctx` points at a live `F` and `ptr/len` at an exclusively owned
+    // block — which the dispatch guarantees by pinning its stack frame
+    // on the latch until every job completes.
     run: unsafe fn(*const (), usize, *mut f32, usize),
     ctx: *const (),
     first_row: usize,
@@ -183,8 +187,13 @@ struct Job {
     len: usize,
     latch: *const Latch,
 }
-// Safety: the raw pointers are only dereferenced while the dispatching
-// stack frame is pinned on the latch (see `trampoline` and `Latch`).
+// SAFETY: a Job's raw pointers (closure context, buffer block, latch)
+// are only dereferenced while the dispatching stack frame — which owns
+// all three referents — is pinned on the completion latch (see
+// `trampoline` and `WaitOnDrop`), so sending the Job to a worker thread
+// never lets it outlive what it points at. The blocks handed to
+// distinct workers are disjoint `split_at_mut` slices, so no two
+// threads alias the same `&mut` data.
 unsafe impl Send for Job {}
 
 /// Completion latch for one dispatch: counts outstanding jobs and
@@ -212,6 +221,7 @@ impl Latch {
     /// after the guard drops, so the caller may free it as soon as
     /// `remaining` hits zero.
     fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
         let mut s = self.state.lock().unwrap();
         if s.panic.is_none() {
             s.panic = panic;
@@ -227,8 +237,10 @@ impl Latch {
     /// Block until every job has completed, then hand back the first
     /// captured panic payload (if any).
     fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
         let mut s = self.state.lock().unwrap();
         while s.remaining > 0 {
+            // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
             s = self.cv.wait(s).unwrap();
         }
         s.panic.take()
@@ -242,8 +254,10 @@ struct WaitOnDrop<'a>(&'a Latch);
 
 impl Drop for WaitOnDrop<'_> {
     fn drop(&mut self) {
+        // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
         let mut s = self.0.state.lock().unwrap();
         while s.remaining > 0 {
+            // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
             s = self.0.cv.wait(s).unwrap();
         }
     }
@@ -259,22 +273,29 @@ struct Mailbox {
 fn worker_loop(mailbox: Arc<Mailbox>) {
     loop {
         let job = {
+            // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
             let mut slot = mailbox.slot.lock().unwrap();
             loop {
                 if let Some(job) = slot.take() {
                     break job;
                 }
+                // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
                 slot = mailbox.cv.wait(slot).unwrap();
             }
         };
+        // SAFETY: `job.ctx` and `job.ptr/len` satisfy `trampoline`'s
+        // contract — the dispatching frame that owns the closure and
+        // the buffer is pinned on the latch until this job completes,
+        // and each job's block is a disjoint `split_at_mut` slice.
         // AssertUnwindSafe: the job's buffer block is exclusively owned
         // and simply abandoned mid-write on panic; the caller observes
         // the panic, never the half-written block.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.run)(job.ctx, job.first_row, job.ptr, job.len)
         }));
-        // Safety: the dispatcher keeps the latch alive until `complete`
-        // has decremented `remaining` (it waits under the same mutex).
+        // SAFETY: the dispatcher keeps the latch alive until `complete`
+        // has decremented `remaining` (it waits under the same mutex),
+        // so the pointer is valid for the duration of this borrow.
         let latch = unsafe { &*job.latch };
         latch.complete(result.err());
     }
@@ -355,6 +376,7 @@ impl Pool {
                     len: block.len(),
                     latch: &latch,
                 };
+                // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
                 let mut slot = mailbox.slot.lock().unwrap();
                 debug_assert!(slot.is_none(), "mailbox busy under dispatch lock");
                 *slot = Some(job);

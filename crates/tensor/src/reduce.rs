@@ -98,12 +98,14 @@ impl Tensor {
     /// Sum over one axis (axis removed).
     pub fn sum_axis(&self, axis: usize) -> Tensor {
         self.try_reduce_axis(axis, false, 0.0, |a, b| a + b)
+            // ts3-lint: allow(no-unwrap-in-lib) axis bounds are this method's documented # Panics contract
             .expect("sum_axis: axis out of range")
     }
 
     /// Sum over one axis, keeping it as a length-1 dim.
     pub fn sum_axis_keepdim(&self, axis: usize) -> Tensor {
         self.try_reduce_axis(axis, true, 0.0, |a, b| a + b)
+            // ts3-lint: allow(no-unwrap-in-lib) axis bounds are this method's documented # Panics contract
             .expect("sum_axis_keepdim: axis out of range")
     }
 
@@ -122,12 +124,14 @@ impl Tensor {
     /// Maximum over one axis (axis removed).
     pub fn max_axis(&self, axis: usize) -> Tensor {
         self.try_reduce_axis(axis, false, f32::NEG_INFINITY, f32::max)
+            // ts3-lint: allow(no-unwrap-in-lib) axis bounds are this method's documented # Panics contract
             .expect("max_axis: axis out of range")
     }
 
     /// Minimum over one axis (axis removed).
     pub fn min_axis(&self, axis: usize) -> Tensor {
         self.try_reduce_axis(axis, false, f32::INFINITY, f32::min)
+            // ts3-lint: allow(no-unwrap-in-lib) axis bounds are this method's documented # Panics contract
             .expect("min_axis: axis out of range")
     }
 
@@ -140,6 +144,7 @@ impl Tensor {
 
     /// Numerically stable softmax over the **last** axis.
     pub fn softmax_last(&self) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 1 is this method's documented # Panics contract
         let cols = *self.shape.last().expect("softmax_last: rank must be >= 1");
         let mut out = self.clone();
         for row in out.data.chunks_mut(cols) {
@@ -158,6 +163,7 @@ impl Tensor {
 
     /// Numerically stable log-softmax over the **last** axis.
     pub fn log_softmax_last(&self) -> Tensor {
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 1 is this method's documented # Panics contract
         let cols = *self.shape.last().expect("log_softmax_last: rank must be >= 1");
         let mut out = self.clone();
         for row in out.data.chunks_mut(cols) {
@@ -172,6 +178,7 @@ impl Tensor {
 
     /// Per-row (last axis) argmax indices.
     pub fn argmax_last(&self) -> Vec<usize> {
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 1 is this method's documented # Panics contract
         let cols = *self.shape.last().expect("argmax_last: rank must be >= 1");
         self.data
             .chunks(cols)

@@ -34,6 +34,7 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len()` does not equal the shape product.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        // ts3-lint: allow(no-unwrap-in-lib) documented panicking convenience wrapper; the length contract is this method's # Panics section
         Self::try_from_vec(data, shape).expect("Tensor::from_vec: length/shape mismatch")
     }
 
@@ -219,6 +220,7 @@ impl fmt::Display for Tensor {
             return write!(f, "{:?}", self.data);
         }
         // Print as nested rows for rank >= 2 (flattening leading dims).
+        // ts3-lint: allow(no-unwrap-in-lib) rank >= 2 is checked just above, so the shape has a last element
         let cols = *self.shape.last().unwrap();
         let rows = self.numel() / cols.max(1);
         writeln!(f, "[")?;

@@ -75,7 +75,7 @@ fn main() {
     // 5. Checkpoint the trained weights and restore them into a fresh
     //    model: the forecasts must be bit-identical.
     let ckpt_path = std::env::temp_dir().join("ts3net_quickstart.json");
-    let snapshot = ts3_nn::Checkpoint::capture(&model.parameters());
+    let snapshot = ts3_nn::Checkpoint::capture(&model.parameters()).expect("capture checkpoint");
     snapshot.save(&ckpt_path).expect("save checkpoint");
     let restored = TS3Net::new(
         {

@@ -54,6 +54,12 @@ OUT_DIR=$(cd "$OUT_DIR" && pwd)
 BENCH="cargo bench -p ts3-bench --features bench-harness --offline"
 
 if [[ $SMOKE -eq 1 ]]; then
+  # Smoke results feed the committed regression baselines, so refuse to
+  # benchmark a tree that violates the workspace contracts: a HashMap or
+  # wall-clock sneaking into a kernel would make the numbers themselves
+  # nondeterministic.
+  echo "== bench.sh: static analysis precondition (ts3lint --deny-all) =="
+  cargo run -q --release --offline -p ts3-lint --bin ts3lint -- --deny-all
   echo "== bench.sh: smoke (reduced kernels, 40 ms budget, 2 threads) =="
   TS3_BENCH_SMOKE=1 TS3_BENCH_MS=40 TS3_THREADS=2 TS3_TRACE=1 \
     TS3_TRACE_MAX_SPANS=2000 \

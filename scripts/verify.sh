@@ -7,16 +7,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 release build (offline) =="
+echo "== 1/7 release build (offline) =="
 cargo build --release --workspace --offline
 
-echo "== 2/6 test suite =="
+echo "== 2/7 test suite =="
 cargo test -q --workspace --offline
 
-echo "== 3/6 rustdoc (warnings are errors) =="
+echo "== 3/7 rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== 4/6 dependency hermeticity =="
+echo "== 4/7 dependency hermeticity =="
 if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
     | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' | grep -v '^ts3' ; then
   echo "FAIL: non-workspace crate in the dependency tree" >&2
@@ -24,7 +24,7 @@ if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
 fi
 echo "ok: dependency tree is ts3-* only"
 
-echo "== 5/6 observability smoke (TS3_TRACE=1 trace manifests) =="
+echo "== 5/7 observability smoke (TS3_TRACE=1 trace manifests) =="
 # table2 exercises the manifest plumbing without training; table4 on one
 # dataset exercises epoch events and instrumented kernels. trace_check
 # parses each manifest with ts3-json and asserts its contents.
@@ -35,7 +35,7 @@ TS3_TRACE=1 ./target/release/table4 --smoke ETTh1 > /dev/null 2>&1
   --require-epoch --require-kernel-span
 echo "ok: trace manifests parse and carry epoch events + kernel spans"
 
-echo "== 6/6 kernel bench smoke + regression gate =="
+echo "== 6/7 kernel bench smoke + regression gate =="
 # Reduced kernel subset at a 40 ms budget against the committed smoke
 # baseline. The +50% threshold is deliberately generous: smoke medians
 # are short-budget, and the gate exists to catch order-of-magnitude
@@ -45,5 +45,12 @@ echo "== 6/6 kernel bench smoke + regression gate =="
 timeout 900 ./scripts/bench.sh --smoke --out-dir target/bench-smoke > /dev/null
 ./target/release/bench_compare results/BENCH_kernels_smoke.json \
   target/bench-smoke/BENCH_kernels_smoke.json --threshold 50
+
+echo "== 7/7 static analysis (ts3lint --deny-all) =="
+# The in-workspace lint pass (crates/lint): determinism, hermeticity and
+# safety contracts as machine-checked rules. --deny-all promotes
+# warnings (stale allow directives) to failures so the committed tree
+# stays exactly clean, not merely error-free.
+./target/release/ts3lint --deny-all
 
 echo "verify: all gates passed"

@@ -171,7 +171,7 @@ fn checkpoint_round_trips_a_trained_model() {
         loss.backward();
         opt.step();
     }
-    let snapshot = Checkpoint::capture(&model.parameters());
+    let snapshot = Checkpoint::capture(&model.parameters()).expect("capture");
     let mut ectx = Ctx::eval();
     let (x, _) = task.batch(Split::Test, &[0]);
     let before = model.forecast(&x, &mut ectx).value().clone();
