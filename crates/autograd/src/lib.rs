@@ -7,8 +7,11 @@
 //! but complete set of differentiable primitives (elementwise ops, shape
 //! manipulation, reductions, matmul, conv1d/conv2d, softmax, layer norm),
 //! an extension point for fixed linear operators with hand-written
-//! adjoints ([`CustomOp`], used for the wavelet transform), and a
-//! finite-difference gradient checker ([`gradcheck_var`]).
+//! adjoints ([`CustomOp`], used for the wavelet transform), a
+//! finite-difference gradient checker ([`gradcheck_var`]), and a
+//! thread-local tape-suppression guard for inference ([`NoGradGuard`] /
+//! [`no_grad`]) whose outputs are bitwise identical to the recorded
+//! forward.
 //!
 //! ```
 //! use ts3_autograd::{Param, Var};
@@ -26,6 +29,7 @@
 
 mod custom;
 mod gradcheck;
+mod nograd;
 mod ops_basic;
 mod ops_conv;
 mod ops_matmul;
@@ -36,5 +40,6 @@ mod var;
 
 pub use custom::{apply_custom, CustomOp};
 pub use gradcheck::{assert_gradcheck, gradcheck_var, GradCheckReport};
+pub use nograd::{is_recording, no_grad, NoGradGuard};
 pub use param::Param;
 pub use var::Var;

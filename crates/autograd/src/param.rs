@@ -64,6 +64,25 @@ impl Param {
         *self.0.value.borrow_mut() = value;
     }
 
+    /// Swap the stored value with `other` in O(1), without allocating.
+    ///
+    /// This is the snapshot mechanism behind compiled inference plans: a
+    /// plan swaps its frozen weights in, runs, and swaps them back out,
+    /// so a shared parameter can keep training between plan executions
+    /// without either side copying tensors.
+    ///
+    /// # Panics
+    /// Panics if the two tensors differ in shape.
+    pub fn swap_value(&self, other: &mut Tensor) {
+        let mut value = self.0.value.borrow_mut();
+        assert_eq!(
+            value.shape(),
+            other.shape(),
+            "swap_value must preserve the parameter shape"
+        );
+        std::mem::swap(&mut *value, other);
+    }
+
     /// Apply an in-place update `value <- f(value, grad)`.
     pub fn update_with(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
         let grad = self.0.grad.borrow();

@@ -65,6 +65,9 @@ impl Var {
 
     /// Leaf bound to a parameter; used by [`Param::var`].
     pub(crate) fn param_leaf(value: Tensor, param: Param) -> Var {
+        if !crate::nograd::is_recording() {
+            return Var::constant(value);
+        }
         Var(Rc::new(VarInner {
             id: fresh_id(),
             value,
@@ -74,7 +77,17 @@ impl Var {
     }
 
     /// Build an interior node.
+    ///
+    /// Every op computes `value` eagerly before calling this, so under a
+    /// [`crate::NoGradGuard`] the node degenerates to a leaf — same
+    /// value, no parents, no backward closure — and the upstream graph
+    /// is released immediately.
     pub(crate) fn node(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        if !crate::nograd::is_recording() {
+            drop(parents);
+            drop(backward);
+            return Var::constant(value);
+        }
         Var(Rc::new(VarInner {
             id: fresh_id(),
             value,

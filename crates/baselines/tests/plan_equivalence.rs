@@ -1,0 +1,162 @@
+//! Compiled-plan equivalence contract across the whole model zoo: for
+//! TS3Net (all ablations), every Table IV baseline and both TSD
+//! controls, `CompiledPlan::run` must be **bitwise identical** to the
+//! eager `forecast` — at batch 1 and batch 64, and at 1 and N worker
+//! threads (the pool's bit-identical-to-serial contract composes with
+//! the plan's no-tape execution).
+//!
+//! Also covers the freeze-semantics edge cases: freezing an untrained
+//! model, re-freezing after further training steps (the old plan must
+//! keep its old outputs), and the batch-of-1-vs-batch-of-N consistency
+//! sweep for models without cross-batch data dependence.
+
+use std::rc::Rc;
+use ts3_baselines::{build_forecaster, BaselineConfig, TABLE4_MODELS};
+use ts3_nn::Ctx;
+use ts3_tensor::par::set_max_threads;
+use ts3_tensor::Tensor;
+use ts3net_core::{CompiledPlan, ForecastModel, TS3NetConfig};
+
+const ALL_MODELS: [&str; 16] = [
+    "TS3Net",
+    "TS3Net w/o TD",
+    "TS3Net w/o TF-Block",
+    "TS3Net w/o Both",
+    "PatchTST",
+    "TimesNet",
+    "MICN",
+    "LightTS",
+    "DLinear",
+    "FEDformer",
+    "Stationary",
+    "Autoformer",
+    "Pyraformer",
+    "Informer",
+    "TSD-CNN",
+    "TSD-Trans",
+];
+
+fn cfgs() -> (BaselineConfig, TS3NetConfig) {
+    let cfg = BaselineConfig::scaled(2, 24, 12);
+    let mut ts3 = TS3NetConfig::scaled(2, 24, 12);
+    ts3.lambda = 4;
+    ts3.d_model = 4;
+    ts3.d_hidden = 4;
+    (cfg, ts3)
+}
+
+/// Periodic + trend mixture so the decomposition paths do real work.
+fn batch(b: usize, t: usize, c: usize, seed: u64) -> Tensor {
+    let mut data = Vec::with_capacity(b * t * c);
+    for bi in 0..b {
+        for ti in 0..t {
+            for ci in 0..c {
+                let tf = ti as f32 + seed as f32;
+                data.push(
+                    0.02 * tf + (std::f32::consts::TAU * tf / 8.0 + bi as f32 + 0.5 * ci as f32).sin(),
+                );
+            }
+        }
+    }
+    Tensor::from_vec(data, &[b, t, c])
+}
+
+fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    assert_eq!(a.as_slice(), b.as_slice(), "{what}: values differ");
+}
+
+#[test]
+fn every_model_plan_matches_eager_bitwise_across_batches_and_threads() {
+    let (cfg, ts3) = cfgs();
+    // Make sure the factory list and this file's list cannot drift apart.
+    for name in TABLE4_MODELS {
+        assert!(ALL_MODELS.contains(&name), "missing {name} from the sweep");
+    }
+    for name in ALL_MODELS {
+        let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster(name, &cfg, &ts3, 7));
+        let calib = batch(2, 24, 2, 1);
+        let plan = CompiledPlan::freeze(model, &calib)
+            .unwrap_or_else(|e| panic!("{name}: freeze failed: {e}"));
+        for b in [1usize, 64] {
+            let x = batch(b, 24, 2, 3);
+            set_max_threads(1);
+            let eager_serial = plan.model().forecast(&x, &mut Ctx::eval()).value().clone();
+            let plan_serial = plan.run(&x).unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+            assert_bitwise(&plan_serial, &eager_serial, &format!("{name} b={b} threads=1"));
+            set_max_threads(4);
+            let plan_par = plan.run(&x).unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+            assert_bitwise(&plan_par, &eager_serial, &format!("{name} b={b} threads=4"));
+        }
+    }
+    set_max_threads(1);
+}
+
+#[test]
+fn freezing_an_untrained_model_works() {
+    let (cfg, ts3) = cfgs();
+    // Fresh seed, zero training steps: freeze must succeed and verify.
+    let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster("TS3Net", &cfg, &ts3, 99));
+    let calib = batch(1, 24, 2, 0);
+    let plan = CompiledPlan::freeze(model, &calib).expect("untrained freeze");
+    assert!(plan.run(&calib).unwrap().all_finite());
+}
+
+#[test]
+fn refreezing_after_training_captures_new_weights_and_keeps_old_plan_intact() {
+    let (cfg, ts3) = cfgs();
+    let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster("DLinear", &cfg, &ts3, 5));
+    let x = batch(2, 24, 2, 4);
+    let target = batch(2, 12, 2, 8);
+    let plan_v1 = CompiledPlan::freeze(model.clone(), &x).expect("freeze v1");
+    let y_v1 = plan_v1.run(&x).unwrap();
+
+    // A few real SGD steps on the shared parameters.
+    for _ in 0..3 {
+        let loss = model.forecast(&x, &mut Ctx::train(0)).mse_loss(&target);
+        for p in model.parameters() {
+            p.zero_grad();
+        }
+        loss.backward();
+        for p in model.parameters() {
+            p.update_with(|v, g| v.axpy(-0.05, g));
+        }
+    }
+
+    let plan_v2 = CompiledPlan::freeze(model.clone(), &x).expect("freeze v2");
+    let y_v2 = plan_v2.run(&x).unwrap();
+    let eager_now = model.forecast(&x, &mut Ctx::eval()).value().clone();
+
+    // The new plan serves the trained weights; the old plan is unmoved.
+    assert_bitwise(&y_v2, &eager_now, "refrozen plan vs current eager");
+    assert_bitwise(&plan_v1.run(&x).unwrap(), &y_v1, "old plan after training");
+    assert_ne!(y_v1.as_slice(), y_v2.as_slice(), "training changed nothing?");
+}
+
+/// Batch-of-1 vs batch-of-N: stacking N windows into one batch must give
+/// each window the same forecast it gets alone. This holds only for
+/// models without cross-batch data dependence — TS3Net needs `t_f`
+/// pinned (its dominant-period estimate averages FFT amplitudes over the
+/// whole batch), and TimesNet / Autoformer-family models are excluded
+/// because their period/lag selection is legitimately batch-global.
+#[test]
+fn batch_composition_sweep_for_batch_independent_models() {
+    let (cfg, mut ts3) = cfgs();
+    ts3.t_f = Some(8); // pin Eq. 2's data-dependent period selection
+    for name in ["TS3Net", "DLinear", "LightTS"] {
+        let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster(name, &cfg, &ts3, 11));
+        let n = 6;
+        let stacked = batch(n, 24, 2, 2);
+        let plan = CompiledPlan::freeze(model, &stacked).expect("freeze");
+        let y_stacked = plan.run(&stacked).unwrap();
+        for i in 0..n {
+            let xi = stacked.narrow(0, i, 1);
+            let yi = plan.run(&xi).unwrap();
+            assert_bitwise(
+                &yi,
+                &y_stacked.narrow(0, i, 1),
+                &format!("{name}: window {i} alone vs in batch"),
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 use crate::config::TS3NetConfig;
 use crate::heads::{Autoregression, PredictionHead};
 use crate::ops::iwt;
+use crate::plan::PlanState;
 use crate::sgd_layer::SgdLayer;
 use crate::tf_block::{branch_plans, TfBlock};
 use crate::traits::ForecastModel;
@@ -227,6 +228,104 @@ impl ForecastModel for TS3Net {
 
     fn name(&self) -> &str {
         &self.display_name
+    }
+
+    // Staged lowering for `CompiledPlan`: the eager forward above, cut at
+    // its natural seams. Slot layout: 0 = trend, 1 = seasonal, 2 = the
+    // running feature map `h`, 3 = the accumulated fluctuant 2-D part;
+    // scalar 0 = the dominant sub-series length `T_f`. Each stage re-runs
+    // exactly the tensor computation the eager path runs on the same
+    // values, so plan outputs stay bitwise identical.
+
+    fn plan_slots(&self) -> usize {
+        4
+    }
+
+    fn plan_stages(&self) -> Vec<String> {
+        let mut stages = Vec::new();
+        if !self.cfg.ablation.without_td {
+            stages.push("trend_split".to_string());
+            stages.push("select_t_f".to_string());
+        }
+        stages.push("embed".to_string());
+        for l in 0..self.cfg.n_blocks {
+            stages.push(format!("block{l}"));
+        }
+        stages.push("heads".to_string());
+        stages
+    }
+
+    fn run_plan_stage(&self, idx: usize, st: &mut PlanState) {
+        let mut ctx = Ctx::eval();
+        let pre = if self.cfg.ablation.without_td { 0 } else { 2 };
+        if !self.cfg.ablation.without_td && idx == 0 {
+            // Stage "trend_split" (Eq. 1).
+            let (trend, seasonal) = batch_trend_split(st.input(), &DEFAULT_TREND_KERNELS);
+            st.set_slot(0, trend);
+            st.set_slot(1, seasonal);
+            return;
+        }
+        if !self.cfg.ablation.without_td && idx == 1 {
+            // Stage "select_t_f" (Eq. 2), same clamp as the eager path.
+            let t_f = self
+                .cfg
+                .t_f
+                .unwrap_or_else(|| batch_dominant_period(st.slot(1)))
+                .clamp(2, (self.cfg.lookback / 2).max(2));
+            st.set_scalar(0, t_f);
+            return;
+        }
+        if idx == pre {
+            // Stage "embed".
+            let x = if self.cfg.ablation.without_td {
+                st.input().clone()
+            } else {
+                st.slot(1).clone()
+            };
+            let h0 = self.embed.forward(&Var::constant(x), &mut ctx);
+            st.set_slot(2, h0.value().clone());
+            return;
+        }
+        let block_idx = idx - pre - 1;
+        if block_idx < self.cfg.n_blocks {
+            // Stage "block{l}": one S-GD + TF-Block (or MLP) step of the
+            // backbone loop.
+            let h = Var::constant(st.slot(2).clone());
+            let h_in = if self.cfg.ablation.without_td {
+                h
+            } else {
+                let out = self.sgd.forward(&h, st.scalar(0));
+                let acc = if st.has_slot(3) {
+                    Var::constant(st.slot(3).clone()).add(&out.fluctuant_2d)
+                } else {
+                    out.fluctuant_2d
+                };
+                st.set_slot(3, acc.value().clone());
+                out.regular
+            };
+            let h_next = if self.cfg.ablation.without_tf_block {
+                self.mlp_blocks[block_idx].forward(&h_in, &mut ctx).add(&h_in)
+            } else {
+                self.blocks[block_idx].forward(&h_in, &mut ctx)
+            };
+            st.set_slot(2, h_next.value().clone());
+            return;
+        }
+        // Stage "heads" (Eq. 14-17).
+        let h = Var::constant(st.slot(2).clone());
+        let y_regular = self.regular_head.forward(&h, &mut ctx);
+        if self.cfg.ablation.without_td {
+            st.set_output(y_regular.value().clone());
+            return;
+        }
+        let y_trend = self.trend_head.forward(&Var::constant(st.slot(0).clone()), &mut ctx);
+        let mut y = y_regular.add(&y_trend);
+        if st.has_slot(3) {
+            let f1d = iwt(&Var::constant(st.slot(3).clone()), &self.plans[0]);
+            let y_fluct = self.fluct_head.forward(&f1d, &mut ctx);
+            y = y.add(&y_fluct);
+        }
+        st.set_output(y.value().clone());
     }
 }
 

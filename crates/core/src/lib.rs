@@ -18,7 +18,10 @@
 //! * [`config`] — hyper-parameters (Table III) at paper scale and at the
 //!   CPU-scaled reproduction profile;
 //! * [`traits`] — the [`ForecastModel`] / [`ImputationModel`] interfaces
-//!   shared with every baseline.
+//!   shared with every baseline;
+//! * [`plan`] — compiled inference plans ([`CompiledPlan`]): a frozen
+//!   model lowered into ordered tape-free stages with snapshotted
+//!   weights, bitwise identical to the eager forward.
 //!
 //! ```
 //! use ts3net_core::{TS3Net, TS3NetConfig, ForecastModel};
@@ -38,6 +41,7 @@ pub mod forecaster;
 pub mod heads;
 pub mod imputer;
 pub mod ops;
+pub mod plan;
 pub mod sgd_layer;
 pub mod tf_block;
 pub mod traits;
@@ -47,6 +51,7 @@ pub use forecaster::{batch_dominant_period, batch_trend_split, TS3Net};
 pub use heads::{Autoregression, PredictionHead, TimeLinear};
 pub use imputer::TS3NetImputer;
 pub use ops::{cwt_amplitude, iwt};
+pub use plan::{CompiledPlan, PlanError, PlanState};
 pub use sgd_layer::{SgdLayer, SgdOutput};
 pub use tf_block::{branch_plans, TfBlock};
 pub use traits::{ForecastModel, ImputationModel};

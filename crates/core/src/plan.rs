@@ -1,0 +1,382 @@
+//! Compiled inference plans: freeze a trained [`ForecastModel`] into an
+//! ordered stage list that executes without an autograd tape.
+//!
+//! Training wants the tape; serving does not. A [`CompiledPlan`] lowers a
+//! model into the ordered stage list the model itself declares
+//! ([`ForecastModel::plan_stages`]), snapshots every parameter tensor,
+//! and executes under [`ts3_autograd::NoGradGuard`] — each intermediate
+//! op returns a parentless leaf, so no graph, no backward closures, and
+//! no per-call tape allocation exist on the serving path. Intermediate
+//! stage results live in a slot table preallocated at freeze time
+//! ([`PlanState`]); kernel-internal scratch (matmul packing buffers, FFT
+//! plan scratch) is reused through the existing thread-local caches.
+//!
+//! Two contracts, both enforced:
+//!
+//! * **Bitwise equivalence.** Every `Var` op computes its value eagerly
+//!   before touching the tape, so suppressing the tape cannot change a
+//!   single bit. [`CompiledPlan::freeze`] still *verifies* this on the
+//!   calibration batch and refuses to build a plan whose output differs
+//!   from the eager forward ([`PlanError::Diverged`]).
+//! * **Frozen weights.** The plan owns a snapshot of every parameter and
+//!   swaps it in (O(1) pointer swaps, no copies) around each execution,
+//!   so a model that keeps training between plan runs does not perturb
+//!   plans frozen earlier; re-freezing captures the new weights.
+//!
+//! ```
+//! use std::rc::Rc;
+//! use ts3net_core::{CompiledPlan, ForecastModel, TS3Net, TS3NetConfig};
+//! use ts3_nn::Ctx;
+//! use ts3_tensor::Tensor;
+//!
+//! let cfg = TS3NetConfig::scaled(/*channels*/ 2, /*lookback*/ 24, /*horizon*/ 12);
+//! let model = TS3Net::new(cfg, /*seed*/ 0);
+//! let calib = Tensor::randn(&[4, 24, 2], 1);
+//! let eager = model.forecast(&calib, &mut Ctx::eval()).value().clone();
+//!
+//! let plan = CompiledPlan::freeze(Rc::new(model), &calib).unwrap();
+//! let served = plan.run(&calib).unwrap();
+//! assert_eq!(served.as_slice(), eager.as_slice()); // bitwise, not approximate
+//! assert!(plan.stages().len() > 1); // TS3Net lowers into real stages
+//! ```
+
+use crate::traits::ForecastModel;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use ts3_autograd::{NoGradGuard, Param};
+use ts3_tensor::Tensor;
+
+/// Why a plan could not be built or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The input shape does not match the plan's frozen geometry.
+    ShapeMismatch {
+        /// `[lookback, c_in]` the plan was frozen for.
+        expected: [usize; 2],
+        /// The offending input shape.
+        got: Vec<usize>,
+    },
+    /// Freeze-time verification found the plan output differing from the
+    /// eager forward. This indicates a broken staged lowering.
+    Diverged {
+        /// Largest absolute element difference observed.
+        max_abs_diff: f32,
+    },
+    /// A stage pipeline finished without writing the output slot.
+    MissingOutput {
+        /// Name of the final stage that should have produced it.
+        last_stage: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ShapeMismatch { expected, got } => write!(
+                f,
+                "plan expects [B, {}, {}] input, got {:?}",
+                expected[0], expected[1], got
+            ),
+            PlanError::Diverged { max_abs_diff } => write!(
+                f,
+                "compiled plan diverged from the eager forward (max |diff| = {max_abs_diff:e})"
+            ),
+            PlanError::MissingOutput { last_stage } => {
+                write!(f, "stage pipeline ended without an output (last stage: {last_stage})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Mutable execution state threaded through a plan's stages: the current
+/// input, the output slot, a fixed table of intermediate tensor slots
+/// (sized by [`ForecastModel::plan_slots`] at freeze time) and a small
+/// bank of integer scalars (for data-dependent constants such as the
+/// dominant period `T_f`).
+pub struct PlanState {
+    input: Tensor,
+    output: Option<Tensor>,
+    slots: Vec<Option<Tensor>>,
+    scalars: Vec<usize>,
+}
+
+impl PlanState {
+    fn new(n_slots: usize) -> PlanState {
+        PlanState {
+            input: Tensor::zeros(&[0]),
+            output: None,
+            slots: (0..n_slots).map(|_| None).collect(),
+            scalars: vec![0; 4],
+        }
+    }
+
+    fn reset(&mut self, input: Tensor) {
+        self.input = input;
+        self.output = None;
+        for s in &mut self.slots {
+            *s = None;
+        }
+        for s in &mut self.scalars {
+            *s = 0;
+        }
+    }
+
+    /// The batch currently being executed.
+    pub fn input(&self) -> &Tensor {
+        &self.input
+    }
+
+    /// Write the final forecast.
+    pub fn set_output(&mut self, y: Tensor) {
+        self.output = Some(y);
+    }
+
+    /// Read intermediate slot `i`.
+    ///
+    /// # Panics
+    /// Panics if the slot was never written — a staged lowering bug.
+    pub fn slot(&self, i: usize) -> &Tensor {
+        match &self.slots[i] {
+            Some(t) => t,
+            // ts3-lint: allow(no-unwrap-in-lib) staged-lowering contract violation; documented # Panics
+            None => panic!("plan stage read slot {i} before any stage wrote it"),
+        }
+    }
+
+    /// Write intermediate slot `i`.
+    pub fn set_slot(&mut self, i: usize, t: Tensor) {
+        self.slots[i] = Some(t);
+    }
+
+    /// True if slot `i` holds a tensor.
+    pub fn has_slot(&self, i: usize) -> bool {
+        self.slots[i].is_some()
+    }
+
+    /// Read integer scalar `i` (0 until written).
+    pub fn scalar(&self, i: usize) -> usize {
+        self.scalars[i]
+    }
+
+    /// Write integer scalar `i`.
+    pub fn set_scalar(&mut self, i: usize, v: usize) {
+        self.scalars[i] = v;
+    }
+}
+
+/// Restores the swapped-in snapshot on drop, so a panicking stage cannot
+/// leave frozen weights live in the shared parameters.
+struct WeightSwap<'a> {
+    snapshot: &'a mut [(Param, Tensor)],
+}
+
+impl<'a> WeightSwap<'a> {
+    fn engage(snapshot: &'a mut [(Param, Tensor)]) -> WeightSwap<'a> {
+        for (p, frozen) in snapshot.iter_mut() {
+            p.swap_value(frozen);
+        }
+        WeightSwap { snapshot }
+    }
+}
+
+impl Drop for WeightSwap<'_> {
+    fn drop(&mut self) {
+        // swap is its own inverse: this puts the live weights back.
+        for (p, frozen) in self.snapshot.iter_mut() {
+            p.swap_value(frozen);
+        }
+    }
+}
+
+/// A model frozen for inference: ordered stages, snapshotted weights,
+/// preallocated state, no tape. Built by [`CompiledPlan::freeze`]; run
+/// with [`CompiledPlan::run`]. `!Send` by construction (models are
+/// `Rc`-based graphs); a serving layer owns plans on one executor thread.
+pub struct CompiledPlan {
+    model: Rc<dyn ForecastModel>,
+    stages: Vec<String>,
+    snapshot: RefCell<Vec<(Param, Tensor)>>,
+    state: RefCell<PlanState>,
+    lookback: usize,
+    c_in: usize,
+    name: String,
+}
+
+impl CompiledPlan {
+    /// Freeze `model` into a plan, verifying on `calib` (a representative
+    /// `[B, T, C]` batch) that the staged execution is bitwise identical
+    /// to the eager forward at the current weights.
+    ///
+    /// The model's parameters are snapshotted: training the model further
+    /// does not change this plan's outputs.
+    pub fn freeze(model: Rc<dyn ForecastModel>, calib: &Tensor) -> Result<CompiledPlan, PlanError> {
+        let mut span = ts3_obs::span("plan.freeze");
+        if span.active() {
+            span.field("model", model.name().to_string());
+        }
+        let snapshot: Vec<(Param, Tensor)> = model
+            .parameters()
+            .into_iter()
+            .map(|p| {
+                let frozen = p.value().clone();
+                (p, frozen)
+            })
+            .collect();
+        let stages = model.plan_stages();
+        debug_assert!(!stages.is_empty(), "a plan needs at least one stage");
+        let plan = CompiledPlan {
+            state: RefCell::new(PlanState::new(model.plan_slots())),
+            lookback: calib.shape()[1],
+            c_in: calib.shape()[2],
+            name: model.name().to_string(),
+            model,
+            stages,
+            snapshot: RefCell::new(snapshot),
+        };
+        // Reference output at the frozen weights, with the tape on — the
+        // exact computation training and evaluation run.
+        let eager = plan
+            .model
+            .forecast(calib, &mut ts3_nn::Ctx::eval())
+            .value()
+            .clone();
+        let staged = plan.run(calib)?;
+        if staged.as_slice() != eager.as_slice() {
+            let max_abs_diff = staged
+                .as_slice()
+                .iter()
+                .zip(eager.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            return Err(PlanError::Diverged { max_abs_diff });
+        }
+        Ok(plan)
+    }
+
+    /// Execute the plan on a `[B, lookback, c_in]` batch (any `B`).
+    ///
+    /// Swaps the frozen weights in, runs every stage under a
+    /// [`NoGradGuard`], and swaps the live weights back — even if a
+    /// stage panics.
+    pub fn run(&self, x: &Tensor) -> Result<Tensor, PlanError> {
+        if x.rank() != 3 || x.shape()[1] != self.lookback || x.shape()[2] != self.c_in {
+            return Err(PlanError::ShapeMismatch {
+                expected: [self.lookback, self.c_in],
+                got: x.shape().to_vec(),
+            });
+        }
+        let mut span = ts3_obs::span("plan.run");
+        if span.active() {
+            span.field("model", self.name.clone());
+            span.field("b", x.shape()[0]);
+            ts3_obs::counter_add("plan.run.calls", 1);
+        }
+        let mut snapshot = self.snapshot.borrow_mut();
+        let _weights = WeightSwap::engage(&mut snapshot);
+        let _no_grad = NoGradGuard::new();
+        let mut state = self.state.borrow_mut();
+        state.reset(x.clone());
+        for (i, stage) in self.stages.iter().enumerate() {
+            let mut stage_span = ts3_obs::span("plan.stage");
+            if stage_span.active() {
+                stage_span.field("stage", stage.clone());
+                stage_span.field("idx", i);
+            }
+            self.model.run_plan_stage(i, &mut state);
+        }
+        state.output.take().ok_or_else(|| PlanError::MissingOutput {
+            // ts3-lint: allow(no-unwrap-in-lib) stages is non-empty by the freeze-time debug_assert
+            last_stage: self.stages.last().expect("non-empty stage list").clone(),
+        })
+    }
+
+    /// The ordered stage names this plan executes.
+    pub fn stages(&self) -> &[String] {
+        &self.stages
+    }
+
+    /// The frozen model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lowered model (parameters are shared with the live model, so
+    /// a trainer can keep stepping them between freezes).
+    pub fn model(&self) -> &dyn ForecastModel {
+        &*self.model
+    }
+
+    /// `[lookback, c_in]` geometry the plan accepts.
+    pub fn geometry(&self) -> [usize; 2] {
+        [self.lookback, self.c_in]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TS3NetConfig;
+    use crate::forecaster::TS3Net;
+    use ts3_nn::Ctx;
+
+    fn small_model() -> TS3Net {
+        let mut cfg = TS3NetConfig::scaled(2, 24, 12);
+        cfg.lambda = 4;
+        cfg.d_model = 4;
+        cfg.d_hidden = 4;
+        TS3Net::new(cfg, 3)
+    }
+
+    #[test]
+    fn freeze_and_run_matches_eager_bitwise() {
+        let model = small_model();
+        let x = Tensor::randn(&[3, 24, 2], 11);
+        let eager = model.forecast(&x, &mut Ctx::eval()).value().clone();
+        let plan = CompiledPlan::freeze(Rc::new(model), &x).expect("freeze");
+        let y = plan.run(&x).expect("run");
+        assert_eq!(y.as_slice(), eager.as_slice());
+    }
+
+    #[test]
+    fn run_rejects_wrong_geometry() {
+        let plan =
+            CompiledPlan::freeze(Rc::new(small_model()), &Tensor::randn(&[2, 24, 2], 0)).unwrap();
+        let err = plan.run(&Tensor::randn(&[2, 48, 2], 0)).unwrap_err();
+        assert!(matches!(err, PlanError::ShapeMismatch { .. }), "{err}");
+        // Batch size is free.
+        assert!(plan.run(&Tensor::randn(&[7, 24, 2], 0)).is_ok());
+    }
+
+    #[test]
+    fn frozen_weights_survive_training_updates() {
+        let model = small_model();
+        let x = Tensor::randn(&[2, 24, 2], 5);
+        let params = model.parameters();
+        let plan = CompiledPlan::freeze(Rc::new(model), &x).unwrap();
+        let before = plan.run(&x).unwrap();
+        // "Train": perturb every shared parameter.
+        for p in &params {
+            let bumped = p.value().map(|v| v + 0.125);
+            p.set_value(bumped);
+        }
+        let after = plan.run(&x).unwrap();
+        assert_eq!(before.as_slice(), after.as_slice(), "plan must use frozen weights");
+        // And the live weights are restored after each run (swap-out).
+        let eager_now = plan.model().forecast(&x, &mut Ctx::eval()).value().clone();
+        assert_ne!(eager_now.as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn state_panics_on_unwritten_slot_read() {
+        let mut st = PlanState::new(2);
+        st.reset(Tensor::zeros(&[1]));
+        assert!(!st.has_slot(0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = st.slot(0);
+        }));
+        assert!(r.is_err());
+    }
+}

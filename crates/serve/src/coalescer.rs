@@ -1,0 +1,204 @@
+//! Deadline-aware request coalescing.
+//!
+//! Pure scheduling logic, deliberately free of channels, threads and
+//! clocks: the owner pushes pending items and asks "what is due at tick
+//! `now`?". Keeping the policy a plain data structure makes it
+//! deterministic (tenant order, FIFO within tenant) and directly
+//! unit-testable.
+//!
+//! A tenant's queue is flushed as a batch when any of:
+//!
+//! * it has reached `max_batch` entries (flushed in full-batch chunks),
+//! * its oldest entry has waited `max_hold` ticks (bounded latency), or
+//! * waiting one more tick would miss some entry's deadline.
+
+/// Coalescing policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescerConfig {
+    /// Largest batch a single plan execution may carry.
+    pub max_batch: usize,
+    /// Longest a request may sit in the queue before it is flushed even
+    /// if the batch is not full, in ticks.
+    pub max_hold: u64,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        CoalescerConfig { max_batch: 8, max_hold: 2 }
+    }
+}
+
+/// One queued item: scheduling metadata plus an opaque payload (the
+/// server stores the request tensor and its reply channel here).
+#[derive(Debug)]
+pub struct Pending<T> {
+    /// Tick at which the item entered the queue.
+    pub submitted: u64,
+    /// Tick by which the caller wants the forecast back.
+    pub deadline: u64,
+    /// Owner-defined payload.
+    pub payload: T,
+}
+
+/// Per-tenant FIFO queues with the flush policy above. Tenants are dense
+/// indices (`0..n_tenants`), so storage is a `Vec` of queues — no maps,
+/// no iteration-order hazards.
+pub struct Coalescer<T> {
+    queues: Vec<Vec<Pending<T>>>,
+    cfg: CoalescerConfig,
+}
+
+impl<T> Coalescer<T> {
+    /// Empty queues for `n_tenants` tenants.
+    pub fn new(n_tenants: usize, cfg: CoalescerConfig) -> Coalescer<T> {
+        Coalescer {
+            queues: (0..n_tenants).map(|_| Vec::new()).collect(),
+            cfg,
+        }
+    }
+
+    /// Number of tenants this coalescer schedules.
+    pub fn tenants(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total queued items across tenants.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Enqueue an item for `tenant`.
+    pub fn push(&mut self, tenant: usize, item: Pending<T>) {
+        self.queues[tenant].push(item);
+    }
+
+    /// Remove and return every batch due at tick `now`, in tenant order,
+    /// FIFO within each tenant, each batch at most `max_batch` long.
+    pub fn due(&mut self, now: u64) -> Vec<(usize, Vec<Pending<T>>)> {
+        let mut out = Vec::new();
+        for tenant in 0..self.queues.len() {
+            loop {
+                let q = &self.queues[tenant];
+                if q.is_empty() {
+                    break;
+                }
+                let full = q.len() >= self.cfg.max_batch;
+                let held = now.saturating_sub(q[0].submitted) >= self.cfg.max_hold;
+                let urgent = q.iter().any(|p| p.deadline <= now + 1);
+                if !(full || held || urgent) {
+                    break;
+                }
+                let take = q.len().min(self.cfg.max_batch);
+                let batch: Vec<Pending<T>> = self.queues[tenant].drain(..take).collect();
+                out.push((tenant, batch));
+            }
+        }
+        out
+    }
+
+    /// Remove and return everything, due or not (graceful shutdown),
+    /// chunked at `max_batch`.
+    pub fn drain_all(&mut self) -> Vec<(usize, Vec<Pending<T>>)> {
+        let mut out = Vec::new();
+        for tenant in 0..self.queues.len() {
+            while !self.queues[tenant].is_empty() {
+                let take = self.queues[tenant].len().min(self.cfg.max_batch);
+                let batch: Vec<Pending<T>> = self.queues[tenant].drain(..take).collect();
+                out.push((tenant, batch));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(submitted: u64, deadline: u64) -> Pending<u32> {
+        Pending { submitted, deadline, payload: 0 }
+    }
+
+    fn cfg(max_batch: usize, max_hold: u64) -> CoalescerConfig {
+        CoalescerConfig { max_batch, max_hold }
+    }
+
+    #[test]
+    fn holds_until_batch_fills() {
+        let mut c = Coalescer::new(1, cfg(4, 100));
+        for _ in 0..3 {
+            c.push(0, item(0, 1000));
+        }
+        assert!(c.due(0).is_empty(), "3 < max_batch and nothing is urgent");
+        c.push(0, item(0, 1000));
+        let due = c.due(0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 0);
+        assert_eq!(due[0].1.len(), 4);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn flushes_after_max_hold() {
+        let mut c = Coalescer::new(1, cfg(8, 3));
+        c.push(0, item(5, 1000));
+        assert!(c.due(7).is_empty(), "held only 2 ticks");
+        let due = c.due(8);
+        assert_eq!(due.len(), 1, "held 3 ticks -> flush");
+        assert_eq!(due[0].1.len(), 1);
+    }
+
+    #[test]
+    fn flushes_before_a_deadline_would_be_missed() {
+        let mut c = Coalescer::new(1, cfg(8, 100));
+        c.push(0, item(0, 6));
+        assert!(c.due(4).is_empty(), "deadline 6 is still 2 ticks away");
+        let due = c.due(5);
+        assert_eq!(due.len(), 1, "at tick 5, waiting to 6 would miss");
+    }
+
+    #[test]
+    fn oversize_queue_splits_into_max_batch_chunks() {
+        let mut c = Coalescer::new(1, cfg(4, 0));
+        for _ in 0..10 {
+            c.push(0, item(0, 1000));
+        }
+        let due = c.due(0);
+        let sizes: Vec<usize> = due.iter().map(|(_, b)| b.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_ordered() {
+        let mut c = Coalescer::new(3, cfg(2, 100));
+        c.push(2, item(0, 1000));
+        c.push(2, item(0, 1000));
+        c.push(0, item(0, 1000));
+        c.push(0, item(0, 1000));
+        let due = c.due(0);
+        let tenants: Vec<usize> = due.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tenants, vec![0, 2], "deterministic tenant order");
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn drain_all_empties_regardless_of_policy() {
+        let mut c = Coalescer::new(2, cfg(4, 1000));
+        c.push(0, item(0, 1000));
+        c.push(1, item(0, 1000));
+        assert!(c.due(0).is_empty());
+        let drained = c.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn fifo_within_tenant() {
+        let mut c = Coalescer::new(1, cfg(8, 0));
+        c.push(0, Pending { submitted: 0, deadline: 10, payload: 1u32 });
+        c.push(0, Pending { submitted: 0, deadline: 10, payload: 2u32 });
+        let due = c.due(5);
+        let order: Vec<u32> = due[0].1.iter().map(|p| p.payload).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+}

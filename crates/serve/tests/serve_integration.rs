@@ -1,0 +1,246 @@
+//! End-to-end contracts for the serving layer: responses are bitwise
+//! identical to a locally-built same-seed plan, tenants are isolated,
+//! malformed requests get typed errors, graceful shutdown answers every
+//! queued request, batching actually coalesces under load, and the
+//! simulation driver is bit-for-bit deterministic across runs and
+//! worker-pool thread caps.
+
+use std::rc::Rc;
+use std::sync::mpsc::channel;
+use ts3_baselines::{build_forecaster, BaselineConfig};
+use ts3_serve::{
+    run_sim, CoalescerConfig, ForecastRequest, ServeError, ServerConfig, ServerHandle, SimConfig,
+};
+use ts3_tensor::par::set_max_threads;
+use ts3_tensor::Tensor;
+use ts3net_core::{CompiledPlan, ForecastModel, TS3NetConfig};
+
+const LOOKBACK: usize = 24;
+const HORIZON: usize = 12;
+const CHANNELS: usize = 2;
+
+fn cfgs() -> (BaselineConfig, TS3NetConfig) {
+    let cfg = BaselineConfig::scaled(CHANNELS, LOOKBACK, HORIZON);
+    let mut ts3 = TS3NetConfig::scaled(CHANNELS, LOOKBACK, HORIZON);
+    ts3.lambda = 4;
+    ts3.d_model = 4;
+    ts3.d_hidden = 4;
+    (cfg, ts3)
+}
+
+fn freeze(name: &str, seed: u64) -> CompiledPlan {
+    let (cfg, ts3) = cfgs();
+    let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster(name, &cfg, &ts3, seed));
+    let calib = Tensor::zeros(&[1, LOOKBACK, CHANNELS]);
+    CompiledPlan::freeze(model, &calib).unwrap()
+}
+
+fn window(seed: u64) -> Tensor {
+    let mut data = Vec::with_capacity(LOOKBACK * CHANNELS);
+    for ti in 0..LOOKBACK {
+        for ci in 0..CHANNELS {
+            let tf = ti as f32 + seed as f32;
+            data.push(0.02 * tf + (std::f32::consts::TAU * tf / 8.0 + 0.5 * ci as f32).sin());
+        }
+    }
+    Tensor::from_vec(data, &[LOOKBACK, CHANNELS])
+}
+
+fn serve_cfg(max_batch: usize, max_hold: u64) -> ServerConfig {
+    ServerConfig { coalescer: CoalescerConfig { max_batch, max_hold } }
+}
+
+#[test]
+fn response_is_bitwise_identical_to_a_locally_built_plan() {
+    let server = ServerHandle::start(serve_cfg(8, 0), || vec![freeze("DLinear", 7)]);
+    let reference = freeze("DLinear", 7);
+    let (tx, rx) = channel();
+    for i in 0..3u64 {
+        let w = window(i);
+        server
+            .submit(
+                ForecastRequest { tenant: 0, input: w.clone(), submitted: i, deadline: i + 10 },
+                &tx,
+            )
+            .unwrap();
+        server.step(i).unwrap(); // max_hold = 0 -> executes immediately
+        let resp = rx.recv().unwrap();
+        let got = resp.result.unwrap();
+        let want = reference
+            .run(&w.reshape(&[1, LOOKBACK, CHANNELS]))
+            .unwrap()
+            .reshape(&[HORIZON, CHANNELS]);
+        assert_eq!(got.shape(), want.shape());
+        assert_eq!(got.as_slice(), want.as_slice(), "request {i}: served != local plan");
+    }
+    server.shutdown(3).unwrap();
+}
+
+#[test]
+fn tenants_are_isolated_and_share_one_executor() {
+    let server = ServerHandle::start(serve_cfg(8, 0), || {
+        vec![freeze("TS3Net", 7), freeze("DLinear", 7)]
+    });
+    let (ts3_ref, dlinear_ref) = (freeze("TS3Net", 7), freeze("DLinear", 7));
+    let w = window(5);
+    let (tx_a, rx_a) = channel();
+    let (tx_b, rx_b) = channel();
+    server
+        .submit(
+            ForecastRequest { tenant: 0, input: w.clone(), submitted: 0, deadline: 10 },
+            &tx_a,
+        )
+        .unwrap();
+    server
+        .submit(
+            ForecastRequest { tenant: 1, input: w.clone(), submitted: 0, deadline: 10 },
+            &tx_b,
+        )
+        .unwrap();
+    server.step(0).unwrap();
+    let batched = w.reshape(&[1, LOOKBACK, CHANNELS]);
+    let got_a = rx_a.recv().unwrap().result.unwrap();
+    let got_b = rx_b.recv().unwrap().result.unwrap();
+    assert_eq!(
+        got_a.as_slice(),
+        ts3_ref.run(&batched).unwrap().as_slice(),
+        "tenant 0 must answer with the TS3Net plan"
+    );
+    assert_eq!(
+        got_b.as_slice(),
+        dlinear_ref.run(&batched).unwrap().as_slice(),
+        "tenant 1 must answer with the DLinear plan"
+    );
+    assert_ne!(got_a.as_slice(), got_b.as_slice(), "the two models genuinely differ");
+    let stats = server.shutdown(1).unwrap();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.batches, 2, "one plan execution per tenant");
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_immediately() {
+    let server = ServerHandle::start(serve_cfg(8, 5), || vec![freeze("DLinear", 7)]);
+    let (tx, rx) = channel();
+    server
+        .submit(
+            ForecastRequest { tenant: 3, input: window(0), submitted: 0, deadline: 10 },
+            &tx,
+        )
+        .unwrap();
+    match rx.recv().unwrap().result {
+        Err(ServeError::UnknownTenant { tenant: 3, tenants: 1 }) => {}
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    server
+        .submit(
+            ForecastRequest {
+                tenant: 0,
+                input: Tensor::zeros(&[LOOKBACK, CHANNELS + 1]),
+                submitted: 0,
+                deadline: 10,
+            },
+            &tx,
+        )
+        .unwrap();
+    match rx.recv().unwrap().result {
+        Err(ServeError::BadShape { expected, got }) => {
+            assert_eq!(expected, [LOOKBACK, CHANNELS]);
+            assert_eq!(got, vec![LOOKBACK, CHANNELS + 1]);
+        }
+        other => panic!("expected BadShape, got {other:?}"),
+    }
+    let stats = server.shutdown(0).unwrap();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn graceful_shutdown_answers_every_queued_request() {
+    // Huge hold + batch thresholds: nothing becomes due on its own, so
+    // only the shutdown drain can answer.
+    let server = ServerHandle::start(serve_cfg(64, 1_000), || vec![freeze("DLinear", 7)]);
+    let (tx, rx) = channel();
+    for i in 0..5u64 {
+        server
+            .submit(
+                ForecastRequest { tenant: 0, input: window(i), submitted: 0, deadline: 2_000 },
+                &tx,
+            )
+            .unwrap();
+    }
+    let report = server.step(0).unwrap();
+    assert_eq!(report.completed, 0, "policy holds everything");
+    assert_eq!(report.still_pending, 5);
+    let stats = server.shutdown(1).unwrap();
+    assert_eq!(stats.completed, 5, "drain answers all pending requests");
+    let mut replies = 0;
+    while let Ok(resp) = rx.try_recv() {
+        assert!(resp.result.is_ok());
+        assert_eq!(resp.batched_with, 5, "drain executed one batch of 5");
+        replies += 1;
+    }
+    assert_eq!(replies, 5);
+}
+
+#[test]
+fn coalescer_batches_under_load_and_batch_results_match_singles() {
+    let server = ServerHandle::start(serve_cfg(8, 2), || vec![freeze("DLinear", 7)]);
+    let reference = freeze("DLinear", 7);
+    let (tx, rx) = channel();
+    let windows: Vec<Tensor> = (0..8).map(|i| window(i as u64)).collect();
+    for w in &windows {
+        server
+            .submit(
+                ForecastRequest { tenant: 0, input: w.clone(), submitted: 0, deadline: 20 },
+                &tx,
+            )
+            .unwrap();
+    }
+    let report = server.step(0).unwrap();
+    assert_eq!(report.batches, 1, "a full batch flushes in one execution");
+    assert_eq!(report.completed, 8);
+    let mut responses: Vec<_> = (0..8).map(|_| rx.recv().unwrap()).collect();
+    responses.sort_by_key(|r| r.submitted);
+    for (w, resp) in windows.iter().zip(&responses) {
+        assert_eq!(resp.batched_with, 8);
+        let got = resp.result.as_ref().unwrap();
+        let want = reference
+            .run(&w.reshape(&[1, LOOKBACK, CHANNELS]))
+            .unwrap()
+            .reshape(&[HORIZON, CHANNELS]);
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "a batched forecast must equal the same window served alone"
+        );
+    }
+    server.shutdown(1).unwrap();
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs_and_thread_caps() {
+    let sim = SimConfig {
+        n_clients: 8,
+        ticks: 12,
+        seed: 99,
+        deadline_slack: 4,
+        tenants: vec![[LOOKBACK, CHANNELS], [LOOKBACK, CHANNELS]],
+        server: serve_cfg(4, 2),
+    };
+    let builder = || vec![freeze("TS3Net", 7), freeze("DLinear", 7)];
+    set_max_threads(1);
+    let a = run_sim(&sim, builder);
+    let b = run_sim(&sim, builder);
+    assert_eq!(a, b, "same config, same thread cap -> identical report");
+    set_max_threads(4);
+    let c = run_sim(&sim, builder);
+    set_max_threads(1);
+    assert_eq!(a, c, "worker-pool thread cap must not change the report");
+    assert!(a.forecasts > 0);
+    assert_eq!(a.forecasts as usize, a.latencies_ticks.len());
+    assert!(
+        a.batch_sizes.iter().any(|&b| b > 1),
+        "8 clients on 2 tenants must produce at least one coalesced batch"
+    );
+    assert_eq!(a.stats.failed, 0);
+}

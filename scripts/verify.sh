@@ -7,16 +7,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 release build (offline) =="
+echo "== 1/9 release build (offline) =="
 cargo build --release --workspace --offline
 
-echo "== 2/7 test suite =="
+echo "== 2/9 test suite =="
 cargo test -q --workspace --offline
 
-echo "== 3/7 rustdoc (warnings are errors) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+echo "== 3/9 rustdoc incl. private items (warnings are errors) =="
+# --document-private-items keeps internal doc comments (executor loop,
+# plan lowering, kernel internals) to the same standard as the public
+# API: a broken intra-doc link in a private item fails the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline \
+  --document-private-items
 
-echo "== 4/7 dependency hermeticity =="
+echo "== 4/9 dependency hermeticity =="
 if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
     | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' | grep -v '^ts3' ; then
   echo "FAIL: non-workspace crate in the dependency tree" >&2
@@ -24,7 +28,7 @@ if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
 fi
 echo "ok: dependency tree is ts3-* only"
 
-echo "== 5/7 observability smoke (TS3_TRACE=1 trace manifests) =="
+echo "== 5/9 observability smoke (TS3_TRACE=1 trace manifests) =="
 # table2 exercises the manifest plumbing without training; table4 on one
 # dataset exercises epoch events and instrumented kernels. trace_check
 # parses each manifest with ts3-json and asserts its contents.
@@ -35,7 +39,7 @@ TS3_TRACE=1 ./target/release/table4 --smoke ETTh1 > /dev/null 2>&1
   --require-epoch --require-kernel-span
 echo "ok: trace manifests parse and carry epoch events + kernel spans"
 
-echo "== 6/7 kernel bench smoke + regression gate =="
+echo "== 6/9 kernel bench smoke + regression gate =="
 # Reduced kernel subset at a 40 ms budget against the committed smoke
 # baseline. The +50% threshold is deliberately generous: smoke medians
 # are short-budget, and the gate exists to catch order-of-magnitude
@@ -46,7 +50,36 @@ timeout 900 ./scripts/bench.sh --smoke --out-dir target/bench-smoke > /dev/null
 ./target/release/bench_compare results/BENCH_kernels_smoke.json \
   target/bench-smoke/BENCH_kernels_smoke.json --threshold 50
 
-echo "== 7/7 static analysis (ts3lint --deny-all) =="
+echo "== 7/9 serving bench smoke + regression gate =="
+# Closed-loop serving latency (ts3-serve) at 1/8/64 clients against the
+# committed baseline. The +100% threshold is wider than the kernel
+# gate's: end-to-end latency includes channel wakeups and scheduling
+# noise, and this gate exists to catch a broken batching path (e.g. the
+# coalescer degenerating to batch=1), which shifts serve_rate by far
+# more than 2x. Still gated by `timeout` like the kernel smoke.
+timeout 900 env TS3_THREADS=2 ./target/release/serve_bench --smoke \
+  --out-dir target/serve-smoke > /dev/null
+./target/release/bench_compare results/BENCH_serve_smoke.json \
+  target/serve-smoke/BENCH_serve_smoke.json --threshold 100
+
+echo "== 8/9 docs liveness (crate inventories) =="
+# Every workspace crate must appear in ARCHITECTURE.md's crate map and
+# DESIGN.md's component inventory, so the two documents cannot silently
+# rot as crates are added.
+missing=0
+for manifest in crates/*/Cargo.toml; do
+  crate=$(sed -n 's/^name = "\(.*\)"$/\1/p' "$manifest" | head -n1)
+  for doc in ARCHITECTURE.md DESIGN.md; do
+    if ! grep -q "$crate" "$doc"; then
+      echo "FAIL: $crate (from $manifest) is missing from $doc" >&2
+      missing=1
+    fi
+  done
+done
+[ "$missing" -eq 0 ] || exit 1
+echo "ok: all $(ls -d crates/*/ | wc -l) crates are documented in ARCHITECTURE.md and DESIGN.md"
+
+echo "== 9/9 static analysis (ts3lint --deny-all) =="
 # The in-workspace lint pass (crates/lint): determinism, hermeticity and
 # safety contracts as machine-checked rules. --deny-all promotes
 # warnings (stale allow directives) to failures so the committed tree
