@@ -133,6 +133,42 @@ fn refreezing_after_training_captures_new_weights_and_keeps_old_plan_intact() {
     assert_ne!(y_v1.as_slice(), y_v2.as_slice(), "training changed nothing?");
 }
 
+#[test]
+fn empty_calibration_refreeze_after_swap_value_under_no_grad() {
+    use ts3_autograd::NoGradGuard;
+    let (cfg, ts3) = cfgs();
+    let model: Rc<dyn ForecastModel> = Rc::from(build_forecaster("DLinear", &cfg, &ts3, 13));
+    let x = batch(2, 24, 2, 6);
+    let plan_v1 = CompiledPlan::freeze(model.clone(), &x).expect("freeze v1");
+    let y_v1 = plan_v1.run(&x).unwrap();
+
+    // A weight-update service installs new tensors with `swap_value`
+    // under a no-grad guard — the same primitive the plan itself uses to
+    // swap snapshots around execution.
+    {
+        let _no_grad = NoGradGuard::new();
+        for p in model.parameters() {
+            let mut incoming = p.value().map(|v| v * 1.5 + 0.0625);
+            p.swap_value(&mut incoming);
+        }
+    }
+
+    // Refreeze on a zero-row calibration batch: fixes geometry and
+    // snapshots the swapped-in weights, but skips the self-check forward
+    // (nothing to verify on an empty batch).
+    let plan_v2 =
+        CompiledPlan::freeze(model.clone(), &Tensor::zeros(&[0, 24, 2])).expect("empty refreeze");
+    assert_eq!(plan_v2.geometry(), [24, 2]);
+
+    let y_v2 = plan_v2.run(&x).unwrap();
+    let eager_now = model.forecast(&x, &mut Ctx::eval()).value().clone();
+    assert_bitwise(&y_v2, &eager_now, "empty-calib refrozen plan vs current eager");
+    assert_bitwise(&plan_v1.run(&x).unwrap(), &y_v1, "old plan after swap_value");
+    assert_ne!(y_v1.as_slice(), y_v2.as_slice(), "swap_value changed nothing?");
+    // The refrozen plan still enforces its frozen geometry.
+    assert!(plan_v2.run(&Tensor::zeros(&[1, 48, 2])).is_err());
+}
+
 /// Batch-of-1 vs batch-of-N: stacking N windows into one batch must give
 /// each window the same forecast it gets alone. This holds only for
 /// models without cross-batch data dependence — TS3Net needs `t_f`

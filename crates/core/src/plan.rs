@@ -212,6 +212,14 @@ impl CompiledPlan {
     ///
     /// The model's parameters are snapshotted: training the model further
     /// does not change this plan's outputs.
+    ///
+    /// A calibration batch with `B == 0` still fixes the plan's
+    /// `[lookback, c_in]` geometry but skips the eager/staged self-check
+    /// (there is nothing to compare). This is the cheap-refreeze path: a
+    /// serving layer that swaps updated weights in and refreezes on a
+    /// live executor thread can do so without paying a forward pass,
+    /// because the staged lowering was already verified by the original
+    /// full-batch freeze.
     pub fn freeze(model: Rc<dyn ForecastModel>, calib: &Tensor) -> Result<CompiledPlan, PlanError> {
         let mut span = ts3_obs::span("plan.freeze");
         if span.active() {
@@ -236,6 +244,9 @@ impl CompiledPlan {
             stages,
             snapshot: RefCell::new(snapshot),
         };
+        if calib.shape()[0] == 0 {
+            return Ok(plan);
+        }
         // Reference output at the frozen weights, with the tape on — the
         // exact computation training and evaluation run.
         let eager = plan

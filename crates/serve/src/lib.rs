@@ -19,6 +19,11 @@
 //! * [`sim`] — a deterministic single-threaded closed-loop load driver:
 //!   same seed in, bit-identical [`SimReport`] out,
 //!   regardless of worker-pool thread count.
+//! * [`online`] — the streaming workload: per-stream
+//!   `ts3_stream::PulsedTriple` state appending one sample per tick,
+//!   pulses feeding the warm plans through the same coalescer, with a
+//!   sliding-DFT period-drift monitor. Same determinism contract as
+//!   [`sim`].
 //! * [`report`] — nearest-rank latency percentiles and `ts3.bench.v1`
 //!   emission compatible with the `bench_compare` regression gate.
 //!
@@ -64,12 +69,14 @@
 
 pub mod clock;
 pub mod coalescer;
+pub mod online;
 pub mod report;
 pub mod server;
 pub mod sim;
 
 pub use clock::{Clock, VirtualClock};
 pub use coalescer::{Coalescer, CoalescerConfig, Pending};
+pub use online::{run_online_sim, OnlineConfig, OnlineReport};
 pub use report::{percentile_ns, summarize, write_bench_json, BenchRow, LatencySummary};
 pub use server::{
     ForecastRequest, ForecastResponse, ServeError, ServerConfig, ServerHandle, ServerStats,

@@ -9,7 +9,8 @@ use std::rc::Rc;
 use std::sync::mpsc::channel;
 use ts3_baselines::{build_forecaster, BaselineConfig};
 use ts3_serve::{
-    run_sim, CoalescerConfig, ForecastRequest, ServeError, ServerConfig, ServerHandle, SimConfig,
+    run_online_sim, run_sim, CoalescerConfig, ForecastRequest, OnlineConfig, ServeError,
+    ServerConfig, ServerHandle, SimConfig,
 };
 use ts3_tensor::par::set_max_threads;
 use ts3_tensor::Tensor;
@@ -215,6 +216,214 @@ fn coalescer_batches_under_load_and_batch_results_match_singles() {
         );
     }
     server.shutdown(1).unwrap();
+}
+
+#[test]
+fn deadline_exactly_on_the_flush_tick_is_not_a_miss() {
+    // Urgency fires when waiting one more tick would miss the deadline
+    // (`deadline <= now + 1`); the flush then completes at `now`, one
+    // tick *before* the deadline. Walk the boundary explicitly.
+    let server = ServerHandle::start(serve_cfg(64, 1_000), || vec![freeze("DLinear", 7)]);
+    let (tx, rx) = channel();
+    // deadline = submit + 2: not urgent at tick 0, urgent at tick 1.
+    server
+        .submit(ForecastRequest { tenant: 0, input: window(1), submitted: 0, deadline: 2 }, &tx)
+        .unwrap();
+    let held = server.step(0).unwrap();
+    assert_eq!(held.completed, 0, "deadline 2 is still 2 ticks out at tick 0");
+    assert_eq!(held.still_pending, 1);
+    let flushed = server.step(1).unwrap();
+    assert_eq!(flushed.completed, 1, "tick 1 is the last tick that can make deadline 2");
+    let resp = rx.recv().unwrap();
+    assert!(resp.result.is_ok());
+    assert_eq!(resp.completed, 1);
+    assert_eq!(resp.completed + 1, 2, "flush tick sits exactly one tick before the deadline");
+    assert!(!resp.deadline_missed, "completing on the flush tick meets the deadline");
+    // deadline = submit + 1: urgent immediately, same-tick execution.
+    server
+        .submit(ForecastRequest { tenant: 0, input: window(2), submitted: 5, deadline: 6 }, &tx)
+        .unwrap();
+    let now = server.step(5).unwrap();
+    assert_eq!(now.completed, 1, "deadline == now + 1 flushes on the submit tick");
+    let resp = rx.recv().unwrap();
+    assert_eq!(resp.completed, 5);
+    assert!(!resp.deadline_missed);
+    let stats = server.shutdown(6).unwrap();
+    assert_eq!(stats.deadline_misses, 0);
+}
+
+#[test]
+fn zero_max_hold_flushes_every_step_without_coalescing_loss() {
+    // max_hold = 0: `now - submitted >= 0` always holds, so every step
+    // flushes whatever is queued — still as one batch, not singles.
+    let server = ServerHandle::start(serve_cfg(8, 0), || vec![freeze("DLinear", 7)]);
+    let reference = freeze("DLinear", 7);
+    let (tx, rx) = channel();
+    let windows: Vec<Tensor> = (0..3).map(|i| window(40 + i)).collect();
+    for w in &windows {
+        server
+            .submit(
+                ForecastRequest { tenant: 0, input: w.clone(), submitted: 0, deadline: 1_000 },
+                &tx,
+            )
+            .unwrap();
+    }
+    let report = server.step(0).unwrap();
+    assert_eq!(report.batches, 1, "zero hold still coalesces what is already queued");
+    assert_eq!(report.completed, 3);
+    let mut responses: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+    responses.sort_by_key(|r| r.submitted);
+    for (w, resp) in windows.iter().zip(&responses) {
+        assert_eq!(resp.completed, 0, "zero hold answers on the submit tick");
+        assert_eq!(resp.batched_with, 3);
+        let want = reference
+            .run(&w.reshape(&[1, LOOKBACK, CHANNELS]))
+            .unwrap()
+            .reshape(&[HORIZON, CHANNELS]);
+        assert_eq!(resp.result.as_ref().unwrap().as_slice(), want.as_slice());
+    }
+    // An empty step under zero hold is a no-op, not a panic.
+    let idle = server.step(1).unwrap();
+    assert_eq!(idle.batches, 0);
+    assert_eq!(idle.completed, 0);
+    server.shutdown(2).unwrap();
+}
+
+#[test]
+fn shutdown_races_a_just_enqueued_request_and_still_answers_it() {
+    // Submit and immediately shut down with no intervening step: the
+    // executor's shutdown drain must pick up the racing submission and
+    // answer it rather than dropping the reply channel.
+    for _ in 0..5 {
+        let server = ServerHandle::start(serve_cfg(64, 1_000), || vec![freeze("DLinear", 7)]);
+        let (tx, rx) = channel();
+        server
+            .submit(
+                ForecastRequest { tenant: 0, input: window(9), submitted: 0, deadline: 1_000 },
+                &tx,
+            )
+            .unwrap();
+        let stats = server.shutdown(0).unwrap();
+        assert_eq!(stats.requests, 1, "racing submit must be accepted by the drain");
+        assert_eq!(stats.completed, 1, "racing submit must be answered, not dropped");
+        let resp = rx.recv().expect("reply channel must hold the drained response");
+        assert!(resp.result.is_ok());
+        assert_eq!(resp.batched_with, 1);
+    }
+}
+
+#[test]
+fn online_sim_streams_samples_pulses_and_forecasts_deterministically() {
+    let cfg = OnlineConfig {
+        n_streams: 4,
+        ticks: 60,
+        seed: 123,
+        deadline_slack: 4,
+        tenants: vec![[LOOKBACK, CHANNELS], [LOOKBACK, CHANNELS]],
+        hop: 4,
+        lambda: 4,
+        server: serve_cfg(4, 2),
+    };
+    let builder = || vec![freeze("TS3Net", 7), freeze("DLinear", 7)];
+    set_max_threads(1);
+    let a = run_online_sim(&cfg, builder);
+    let b = run_online_sim(&cfg, builder);
+    assert_eq!(a, b, "same config, same thread cap -> identical online report");
+    set_max_threads(4);
+    let c = run_online_sim(&cfg, builder);
+    set_max_threads(1);
+    assert_eq!(a, c, "worker-pool thread cap must not change the online report");
+    // Workload shape: every stream appends every tick; pulses start
+    // after one full window and recur every `hop` samples.
+    assert_eq!(a.samples, cfg.ticks * cfg.n_streams as u64);
+    let per_stream_pulses = (cfg.ticks - LOOKBACK as u64) / cfg.hop as u64 + 1;
+    assert_eq!(a.pulses, per_stream_pulses * cfg.n_streams as u64);
+    assert!(a.forecasts > 0, "pulses must reach the plans");
+    assert_eq!(a.forecasts as usize, a.latencies_ticks.len());
+    assert_eq!(a.stats.failed, 0, "streaming windows always match plan geometry");
+    assert!(
+        a.forecasts + a.pulses_skipped <= a.pulses,
+        "every pulse either submits or is skipped in flight"
+    );
+}
+
+#[test]
+fn online_forecasts_are_bitwise_identical_to_feeding_the_plan_directly() {
+    // One stream, generous slack and zero hold: each pulse's forecast
+    // must equal running the reference plan on the pulse's own window.
+    // Rebuild the same deterministic stream locally to get the windows.
+    use ts3_rng::{Rng, SeedableRng};
+    use ts3_signal::decompose::TripleConfig;
+    use ts3_stream::{PulsedTriple, StreamConfig};
+
+    let cfg = OnlineConfig {
+        n_streams: 1,
+        ticks: 40,
+        seed: 7,
+        deadline_slack: 8,
+        tenants: vec![[LOOKBACK, CHANNELS]],
+        hop: 8,
+        lambda: 4,
+        server: serve_cfg(1, 0),
+    };
+    let report = run_online_sim(&cfg, || vec![freeze("DLinear", 3)]);
+    assert!(report.forecasts > 0);
+    // The online driver submits at most one request per stream at a
+    // time (closed loop), so with batch cap 1 every forecast rode alone
+    // and deterministically.
+    assert!(report.batch_sizes.iter().all(|&b| b == 1));
+    // Reproduce the first pulse's window locally and check the served
+    // path against a locally-built plan, bit for bit.
+    let reference = freeze("DLinear", 3);
+    let mut stream = PulsedTriple::new(StreamConfig {
+        window: LOOKBACK,
+        channels: CHANNELS,
+        hop: cfg.hop,
+        triple: TripleConfig { lambda: cfg.lambda, ..Default::default() },
+    });
+    let mut rng = ts3_rng::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut first_emit = None;
+    for now in 0..cfg.ticks {
+        let row: Vec<f32> = (0..CHANNELS)
+            .map(|ch| {
+                let ti = now as f32;
+                let noise: f32 = rng.gen::<f32>() - 0.5;
+                0.02 * ti
+                    + (std::f32::consts::TAU * ti / 8.0 + ch as f32).sin()
+                    + 0.3 * (std::f32::consts::TAU * ti / 24.0).cos()
+                    + 0.1 * noise
+            })
+            .collect();
+        if let Some(e) = stream.push(&row) {
+            first_emit = Some(e);
+            break;
+        }
+    }
+    let emit = first_emit.expect("stream warms up within the run");
+    let served = {
+        let server = ServerHandle::start(serve_cfg(1, 0), || vec![freeze("DLinear", 3)]);
+        let (tx, rx) = channel();
+        server
+            .submit(
+                ForecastRequest {
+                    tenant: 0,
+                    input: emit.window_tensor(LOOKBACK, CHANNELS),
+                    submitted: 0,
+                    deadline: 8,
+                },
+                &tx,
+            )
+            .unwrap();
+        server.step(0).unwrap();
+        let resp = rx.recv().unwrap();
+        server.shutdown(1).unwrap();
+        resp.result.unwrap()
+    };
+    let want = reference
+        .run(&emit.window_tensor(LOOKBACK, CHANNELS).reshape(&[1, LOOKBACK, CHANNELS]))
+        .unwrap()
+        .reshape(&[HORIZON, CHANNELS]);
+    assert_eq!(served.as_slice(), want.as_slice(), "served pulse != local plan on same window");
 }
 
 #[test]

@@ -53,7 +53,20 @@ pub fn spectrum_gradient(tf: &Tensor, t_f: usize) -> Tensor {
     }
     let (lambda, t) = (tf.shape()[0], tf.shape()[1]);
     let mut out = vec![0.0f32; lambda * t];
-    let src = tf.as_slice();
+    spectrum_gradient_rows(tf.as_slice(), lambda, t, t_f, &mut out);
+    Tensor::from_vec(out, &[lambda, t])
+}
+
+/// Slice-level core of [`spectrum_gradient`]: differences a row-major
+/// `[lambda, T]` grid `src` into `out` without constructing tensors.
+///
+/// Shared by the batch path above and the streaming crate
+/// (`ts3-stream`), which replays the identical arithmetic per pulse so
+/// that streaming emits stay bitwise equal to the batch decomposition.
+pub fn spectrum_gradient_rows(src: &[f32], lambda: usize, t: usize, t_f: usize, out: &mut [f32]) {
+    assert!(t_f >= 1, "sub-series length must be >= 1");
+    assert_eq!(src.len(), lambda * t, "spectrum_gradient_rows: src length");
+    assert_eq!(out.len(), lambda * t, "spectrum_gradient_rows: out length");
     for li in 0..lambda {
         let row = &src[li * t..(li + 1) * t];
         let dst = &mut out[li * t..(li + 1) * t];
@@ -81,7 +94,6 @@ pub fn spectrum_gradient(tf: &Tensor, t_f: usize) -> Tensor {
             start += len;
         }
     }
-    Tensor::from_vec(out, &[lambda, t])
 }
 
 /// Result of the spectrum-gradient decomposition of a seasonal channel.

@@ -34,8 +34,12 @@ pub mod wavelet;
 pub use complex::Complex32;
 pub use cwt::CwtPlan;
 pub use decompose::{
-    sgd_channel, spectrum_gradient, trend_decompose, triple_decompose, TripleConfig,
-    TripleDecomposition,
+    sgd_channel, spectrum_gradient, spectrum_gradient_rows, trend_decompose, triple_decompose,
+    TripleConfig, TripleDecomposition,
 };
-pub use spectrum::{dominant_period, topk_periods, topk_periods_multi, PeriodComponent};
+pub use spectrum::{
+    accumulate_channel_amplitude, dominant_period, dominant_period_from_spectrum,
+    mean_amplitude_spectrum, topk_periods, topk_periods_from_spectrum, topk_periods_multi,
+    PeriodComponent,
+};
 pub use wavelet::{central_frequency, sample_wavelet, scale_set, WaveletKind};

@@ -21,25 +21,56 @@ pub fn topk_periods(x: &[f32], k: usize) -> Vec<PeriodComponent> {
     topk_periods_multi(&Tensor::from_vec(x.to_vec(), &[x.len(), 1]), k)
 }
 
-/// Top-k dominant periods of a multivariate `[T, C]` series; amplitudes
-/// are averaged across channels (the TimesNet convention the paper
-/// follows).
-pub fn topk_periods_multi(x: &Tensor, k: usize) -> Vec<PeriodComponent> {
-    assert_eq!(x.rank(), 2, "topk_periods_multi expects [T, C]");
+/// Accumulate one channel's amplitude spectrum into a channel-mean
+/// periodogram: `mean_amp[f] += |rfft(col)[f]| / c`.
+///
+/// Shared by the batch tensor path and the streaming crate so both
+/// compute the mean periodogram with the *same* arithmetic in the same
+/// order — a prerequisite for the bitwise batch/stream equivalence
+/// contract. `mean_amp` must have `col.len() / 2 + 1` entries and the
+/// caller accumulates channels in ascending order.
+pub fn accumulate_channel_amplitude(col: &[f32], c: usize, mean_amp: &mut [f32]) {
+    let half = col.len() / 2;
+    assert_eq!(mean_amp.len(), half + 1, "periodogram length mismatch");
+    let spec = rfft(col);
+    for (f, dst) in mean_amp.iter_mut().enumerate().take(half + 1) {
+        *dst += spec[f].abs() / c as f32;
+    }
+}
+
+/// Channel-mean amplitude spectrum of a `[T, C]` series: bins `0..=T/2`.
+pub fn mean_amplitude_spectrum(x: &Tensor) -> Vec<f32> {
+    assert_eq!(x.rank(), 2, "mean_amplitude_spectrum expects [T, C]");
     let (t, c) = (x.shape()[0], x.shape()[1]);
-    assert!(t >= 4, "series too short for period detection");
     let half = t / 2;
     let mut mean_amp = vec![0.0f32; half + 1];
     for ch in 0..c {
         let col: Vec<f32> = (0..t).map(|i| x.at(&[i, ch])).collect();
-        let spec = rfft(&col);
-        for (f, dst) in mean_amp.iter_mut().enumerate().take(half + 1) {
-            *dst += spec[f].abs() / c as f32;
-        }
+        accumulate_channel_amplitude(&col, c, &mut mean_amp);
     }
+    mean_amp
+}
+
+/// Select the top-k periods from a precomputed channel-mean amplitude
+/// spectrum (`mean_amp[f]` for `f in 0..=T/2`, as produced by
+/// [`mean_amplitude_spectrum`] or a sliding-DFT monitor).
+///
+/// Ordering contract: bins are ranked by **descending amplitude**, and
+/// bins with exactly equal amplitude by **ascending frequency** — lower
+/// frequency (longer period) wins a tie. The tie-break is explicit (not
+/// an artifact of sort stability), so the selection is a pure function
+/// of the spectrum values: deterministic across thread counts, repeat
+/// runs, and the batch/streaming implementations.
+pub fn topk_periods_from_spectrum(mean_amp: &[f32], t: usize, k: usize) -> Vec<PeriodComponent> {
+    let half = t / 2;
+    assert_eq!(mean_amp.len(), half + 1, "periodogram length mismatch");
     // Exclude DC (f = 0): the trend part carries it.
     let mut bins: Vec<(usize, f32)> = (1..=half).map(|f| (f, mean_amp[f])).collect();
-    bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    bins.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
     bins.truncate(k);
     bins.into_iter()
         .map(|(f, amplitude)| PeriodComponent {
@@ -50,15 +81,35 @@ pub fn topk_periods_multi(x: &Tensor, k: usize) -> Vec<PeriodComponent> {
         .collect()
 }
 
-/// The single dominant period (`p_1` / the paper's `T_f`), falling back to
-/// `t/2` if the spectrum is degenerate (e.g. all-zero input).
-pub fn dominant_period(x: &Tensor) -> usize {
-    let comps = topk_periods_multi(x, 1);
+/// Top-k dominant periods of a multivariate `[T, C]` series; amplitudes
+/// are averaged across channels (the TimesNet convention the paper
+/// follows). Tie-breaking is documented on
+/// [`topk_periods_from_spectrum`].
+pub fn topk_periods_multi(x: &Tensor, k: usize) -> Vec<PeriodComponent> {
+    assert_eq!(x.rank(), 2, "topk_periods_multi expects [T, C]");
     let t = x.shape()[0];
+    assert!(t >= 4, "series too short for period detection");
+    topk_periods_from_spectrum(&mean_amplitude_spectrum(x), t, k)
+}
+
+/// Dominant-period selection from a precomputed spectrum: top-1 of
+/// [`topk_periods_from_spectrum`] clamped to `[2, t]`, falling back to
+/// `t/2` when the spectrum is degenerate (e.g. all-zero input).
+pub fn dominant_period_from_spectrum(mean_amp: &[f32], t: usize) -> usize {
+    let comps = topk_periods_from_spectrum(mean_amp, t, 1);
     match comps.first() {
         Some(c) if c.amplitude > 1e-12 => c.period.clamp(2, t),
         _ => (t / 2).max(2),
     }
+}
+
+/// The single dominant period (`p_1` / the paper's `T_f`), falling back to
+/// `t/2` if the spectrum is degenerate (e.g. all-zero input).
+pub fn dominant_period(x: &Tensor) -> usize {
+    assert_eq!(x.rank(), 2, "dominant_period expects [T, C]");
+    let t = x.shape()[0];
+    assert!(t >= 4, "series too short for period detection");
+    dominant_period_from_spectrum(&mean_amplitude_spectrum(x), t)
 }
 
 #[cfg(test)]

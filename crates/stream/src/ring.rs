@@ -1,0 +1,147 @@
+//! Fixed-capacity ring buffer over multichannel sample rows.
+//!
+//! The ring is the per-stream state everything else in this crate hangs
+//! off: one `[capacity, channels]` block of `f32`s written in place, so
+//! a `push` is O(channels) with no allocation and no shifting. Readers
+//! linearize the logical window (oldest → newest) on demand, which is a
+//! straight two-`memcpy` operation.
+
+/// Fixed-capacity sliding window over `[T, C]` rows, stored as a ring.
+#[derive(Debug, Clone)]
+pub struct RingWindow {
+    /// Backing storage, `capacity * channels`, physical row-major.
+    buf: Vec<f32>,
+    capacity: usize,
+    channels: usize,
+    /// Physical index of the next row to write.
+    head: usize,
+    /// Number of valid rows (saturates at `capacity`).
+    len: usize,
+}
+
+impl RingWindow {
+    /// Empty ring holding up to `capacity` rows of `channels` values.
+    pub fn new(capacity: usize, channels: usize) -> Self {
+        assert!(capacity >= 1, "RingWindow: capacity must be >= 1");
+        assert!(channels >= 1, "RingWindow: channels must be >= 1");
+        RingWindow {
+            buf: vec![0.0; capacity * channels],
+            capacity,
+            channels,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of valid rows currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once `capacity` rows have been pushed (steady state).
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Maximum number of rows held (the window length `T`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Values per row (the channel count `C`).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The oldest row still in the window, if any.
+    pub fn oldest(&self) -> Option<&[f32]> {
+        if self.len == 0 {
+            return None;
+        }
+        let phys = if self.is_full() { self.head } else { 0 };
+        Some(&self.buf[phys * self.channels..(phys + 1) * self.channels])
+    }
+
+    /// Logical row `i` (0 = oldest). Panics when `i >= len()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len, "RingWindow::row: index {i} out of {}", self.len);
+        let start = if self.is_full() { self.head } else { 0 };
+        let phys = (start + i) % self.capacity;
+        &self.buf[phys * self.channels..(phys + 1) * self.channels]
+    }
+
+    /// Append one row, evicting the oldest once full. O(channels).
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.channels, "RingWindow::push: row width");
+        let dst = &mut self.buf[self.head * self.channels..(self.head + 1) * self.channels];
+        dst.copy_from_slice(row);
+        self.head = (self.head + 1) % self.capacity;
+        if self.len < self.capacity {
+            self.len += 1;
+        }
+    }
+
+    /// Copy the full logical window (oldest → newest, `[T, C]` row-major)
+    /// into `out`. Panics unless the ring is full and `out` has exactly
+    /// `capacity * channels` elements.
+    pub fn copy_into(&self, out: &mut [f32]) {
+        assert!(self.is_full(), "RingWindow::copy_into: window not full yet");
+        assert_eq!(out.len(), self.capacity * self.channels, "RingWindow::copy_into: out length");
+        let c = self.channels;
+        let split = self.head * c;
+        let tail_len = self.buf.len() - split;
+        out[..tail_len].copy_from_slice(&self.buf[split..]);
+        out[tail_len..].copy_from_slice(&self.buf[..split]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_slides() {
+        let mut r = RingWindow::new(3, 2);
+        assert!(r.is_empty());
+        r.push(&[1.0, 10.0]);
+        r.push(&[2.0, 20.0]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_full());
+        assert_eq!(r.oldest(), Some(&[1.0, 10.0][..]));
+        r.push(&[3.0, 30.0]);
+        assert!(r.is_full());
+        r.push(&[4.0, 40.0]); // evicts [1, 10]
+        assert_eq!(r.oldest(), Some(&[2.0, 20.0][..]));
+        assert_eq!(r.row(2), &[4.0, 40.0]);
+        let mut out = vec![0.0; 6];
+        r.copy_into(&mut out);
+        assert_eq!(out, vec![2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+    }
+
+    #[test]
+    fn copy_matches_rows_after_many_wraps() {
+        let mut r = RingWindow::new(5, 1);
+        for i in 0..23 {
+            r.push(&[i as f32]);
+        }
+        let mut out = vec![0.0; 5];
+        r.copy_into(&mut out);
+        assert_eq!(out, vec![18.0, 19.0, 20.0, 21.0, 22.0]);
+        for i in 0..5 {
+            assert_eq!(r.row(i)[0], out[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window not full")]
+    fn copy_before_full_panics() {
+        let r = RingWindow::new(4, 1);
+        let mut out = vec![0.0; 4];
+        r.copy_into(&mut out);
+    }
+}

@@ -1,0 +1,144 @@
+//! Rolling-sum trend split on a flat window, bitwise equal to the batch
+//! `ts3_signal::trend_decompose`.
+//!
+//! ## Why this replays the window instead of carrying sums across pushes
+//!
+//! The batch trend extractor is `AvgPool(ReplicatePad(X))` (paper
+//! Eq. 1): the pad replicates the window's *current* first and last
+//! rows, so the averages near both edges depend on which samples happen
+//! to sit at the window boundary. When the window slides by one, those
+//! padded lanes change wholesale — there is no per-sample state that
+//! can be carried forward and still reproduce the batch output bit for
+//! bit (the batch kernel also folds each lane through one running `f64`
+//! accumulator whose rounding history starts at the window's first
+//! sample). So the streaming path *replays* the identical rolling-sum
+//! recurrence over the current window on every pulse: same `f64`
+//! adds/subtracts in the same order on the same values, hence the same
+//! bits — see `moving_avg_same` in `ts3-tensor` (`conv.rs`), whose
+//! arithmetic this mirrors exactly. The replay is still O(T·C) per
+//! kernel (rolling sum, not O(T·C·k) naive windowing) and, unlike the
+//! batch path, performs no tensor or padding allocations: everything
+//! lands in caller-provided scratch.
+
+/// One replicate-padded moving average along the time axis of a flat
+/// `[t, c]` window, written into `out`. Bitwise equal to
+/// `ts3_tensor::moving_avg_same(x, 0, k)` on the same window.
+pub fn moving_avg_same_into(window: &[f32], t: usize, c: usize, k: usize, out: &mut [f32]) {
+    assert!(k >= 1, "moving_avg_same_into: window must be >= 1");
+    assert!(t >= 1, "moving_avg_same_into: empty time axis");
+    assert_eq!(window.len(), t * c, "moving_avg_same_into: window length");
+    assert_eq!(out.len(), t * c, "moving_avg_same_into: out length");
+    if k == 1 {
+        out.copy_from_slice(window);
+        return;
+    }
+    let before = (k - 1) / 2;
+    // Replicate-padded row `p` of the `[t + k - 1, c]` padded axis reads
+    // source row clamp(p - before, 0, t - 1) — without materializing it.
+    let pad_row = |p: usize| -> usize {
+        if p < before {
+            0
+        } else {
+            (p - before).min(t - 1)
+        }
+    };
+    for ch in 0..c {
+        let mut acc = 0.0f64;
+        for p in 0..k {
+            acc += window[pad_row(p) * c + ch] as f64;
+        }
+        out[ch] = (acc / k as f64) as f32;
+        for row in 1..t {
+            acc += window[pad_row(row + k - 1) * c + ch] as f64;
+            acc -= window[pad_row(row - 1) * c + ch] as f64;
+            out[row * c + ch] = (acc / k as f64) as f32;
+        }
+    }
+}
+
+/// Trend split of a flat `[t, c]` window (paper Eq. 1), bitwise equal to
+/// `ts3_signal::trend_decompose` on the same data: the trend is the mean
+/// of one moving average per kernel, the seasonal part is the
+/// elementwise remainder. `scratch` is resized as needed and reused
+/// across calls so the steady-state pulse path allocates nothing.
+pub fn trend_seasonal_into(
+    window: &[f32],
+    t: usize,
+    c: usize,
+    kernels: &[usize],
+    scratch: &mut Vec<f32>,
+    trend: &mut [f32],
+    seasonal: &mut [f32],
+) {
+    assert!(!kernels.is_empty(), "trend_seasonal_into needs at least one kernel");
+    assert_eq!(window.len(), t * c, "trend_seasonal_into: window length");
+    assert_eq!(trend.len(), t * c, "trend_seasonal_into: trend length");
+    assert_eq!(seasonal.len(), t * c, "trend_seasonal_into: seasonal length");
+    scratch.resize(t * c, 0.0);
+    trend.fill(0.0);
+    // Accumulate kernels in order, then divide — matching the batch
+    // add_assign / div_scalar sequence (f32 `+=` then `/`).
+    for &k in kernels {
+        moving_avg_same_into(window, t, c, k, scratch);
+        for (dst, &m) in trend.iter_mut().zip(scratch.iter()) {
+            *dst += m;
+        }
+    }
+    let inv = kernels.len() as f32;
+    for v in trend.iter_mut() {
+        *v /= inv;
+    }
+    for ((s, &x), &tr) in seasonal.iter_mut().zip(window).zip(trend.iter()) {
+        *s = x - tr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts3_signal::trend_decompose;
+    use ts3_tensor::{moving_avg_same, Tensor};
+
+    fn window(t: usize, c: usize) -> Vec<f32> {
+        (0..t * c)
+            .map(|i| ((i as f32) * 0.37).sin() + 0.01 * i as f32)
+            .collect()
+    }
+
+    #[test]
+    fn moving_avg_matches_tensor_kernel_bitwise() {
+        for &(t, c) in &[(8usize, 1usize), (32, 3), (96, 2), (5, 4)] {
+            let w = window(t, c);
+            let x = Tensor::from_vec(w.clone(), &[t, c]);
+            for k in [1usize, 2, 3, 13, 17, 25] {
+                let mut out = vec![0.0; t * c];
+                moving_avg_same_into(&w, t, c, k, &mut out);
+                let reference = moving_avg_same(&x, 0, k);
+                for (i, (&a, &b)) in out.iter().zip(reference.as_slice()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "t={t} c={c} k={k} idx={i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trend_split_matches_batch_bitwise() {
+        let (t, c) = (96, 2);
+        let w = window(t, c);
+        let x = Tensor::from_vec(w.clone(), &[t, c]);
+        let kernels = [13usize, 17, 25];
+        let (bt, bs) = trend_decompose(&x, &kernels);
+        let mut scratch = Vec::new();
+        let mut trend = vec![0.0; t * c];
+        let mut seasonal = vec![0.0; t * c];
+        trend_seasonal_into(&w, t, c, &kernels, &mut scratch, &mut trend, &mut seasonal);
+        for i in 0..t * c {
+            assert_eq!(trend[i].to_bits(), bt.as_slice()[i].to_bits(), "trend idx {i}");
+            assert_eq!(seasonal[i].to_bits(), bs.as_slice()[i].to_bits(), "seasonal idx {i}");
+        }
+    }
+}

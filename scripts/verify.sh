@@ -50,7 +50,7 @@ timeout 900 ./scripts/bench.sh --smoke --out-dir target/bench-smoke > /dev/null
 ./target/release/bench_compare results/BENCH_kernels_smoke.json \
   target/bench-smoke/BENCH_kernels_smoke.json --threshold 50
 
-echo "== 7/9 serving bench smoke + regression gate =="
+echo "== 7/9 serving + streaming bench smoke + regression gates =="
 # Closed-loop serving latency (ts3-serve) at 1/8/64 clients against the
 # committed baseline. The +100% threshold is wider than the kernel
 # gate's: end-to-end latency includes channel wakeups and scheduling
@@ -61,6 +61,19 @@ timeout 900 env TS3_THREADS=2 ./target/release/serve_bench --smoke \
   --out-dir target/serve-smoke > /dev/null
 ./target/release/bench_compare results/BENCH_serve_smoke.json \
   target/serve-smoke/BENCH_serve_smoke.json --threshold 100
+# Streaming decomposition: first the correctness contract (every pulse
+# bitwise-equal to batch on the same trailing window — the suite also
+# runs in gate 2, but a bench number without its equivalence proof is
+# meaningless, so the smoke gate re-asserts it explicitly), then the
+# per-sample cost. stream_bench itself fails if streamed cost is not
+# >= 5x below recompute-from-scratch on the 96-step window; on top of
+# that, bench_compare pins absolute drift against the committed
+# baseline at the same generous +100%.
+cargo test -q -p ts3-stream --offline --test pulse_equivalence > /dev/null
+timeout 900 env TS3_THREADS=1 ./target/release/stream_bench --smoke \
+  --out-dir target/stream-smoke > /dev/null
+./target/release/bench_compare results/BENCH_stream_smoke.json \
+  target/stream-smoke/BENCH_stream_smoke.json --threshold 100
 
 echo "== 8/9 docs liveness (crate inventories) =="
 # Every workspace crate must appear in ARCHITECTURE.md's crate map and
