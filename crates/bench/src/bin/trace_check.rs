@@ -1,10 +1,26 @@
-//! CI validator for `results/<stem>.trace.json` run manifests: parses
-//! the file with `ts3-json`, checks the `ts3.trace.v1` schema tag, and
-//! optionally asserts the presence of training epoch events and
-//! instrumented kernel spans. Exits non-zero (with a message on stderr)
-//! on any failure, so `scripts/verify.sh` can gate on it.
+//! CI validator for the telemetry artifacts the workspace emits:
 //!
-//! Usage: `trace_check <path> [--require-epoch] [--require-kernel-span]`
+//! * `ts3.trace.v1` run manifests (`results/<stem>.trace.json`) —
+//!   schema tag, optional training-epoch events and instrumented
+//!   kernel spans; **warns** (does not fail) when the collector
+//!   reports dropped spans, so capped benchmark runs are visible in CI
+//!   logs without gating on them.
+//! * `ts3.timeline.v1` request timelines (`--timeline <path>`) — every
+//!   request carries the queue-wait/hold/respond/total segments and a
+//!   per-tenant latency summary exists.
+//! * `ts3.flight.v1` postmortems (`--flight <path>`) — the SLO trigger
+//!   actually fired and the event ring is non-empty.
+//!
+//! Exits non-zero (with a message on stderr) on any failure, so
+//! `scripts/verify.sh` can gate on it.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_check <path> [--require-epoch] [--require-kernel-span]
+//! trace_check --timeline <path>
+//! trace_check --flight <path>
+//! ```
 
 use ts3_json::Json;
 
@@ -46,23 +62,114 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
+}
+
+fn check_schema(doc: &Json, path: &str, want: &str) {
+    if doc.get("schema").and_then(|v| v.as_str()) != Some(want) {
+        fail(&format!("{path}: missing or wrong schema tag (want {want})"));
+    }
+}
+
+/// Validate a `ts3.timeline.v1` document: every request record carries
+/// the four latency segments, and the per-tenant summary is present.
+fn check_timeline(path: &str) {
+    let doc = load(path);
+    check_schema(&doc, path, "ts3.timeline.v1");
+    let requests = doc
+        .get("requests")
+        .and_then(|r| r.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: no requests array")));
+    if requests.is_empty() {
+        fail(&format!("{path}: timeline holds zero requests"));
+    }
+    for (i, r) in requests.iter().enumerate() {
+        let segments = r
+            .get("segments")
+            .unwrap_or_else(|| fail(&format!("{path}: request {i} has no segments")));
+        for seg in ["queue_wait", "hold", "respond", "total"] {
+            if segments.get(seg).and_then(|v| v.as_f64()).is_none() {
+                fail(&format!("{path}: request {i} missing segment {seg}"));
+            }
+        }
+    }
+    let tenants = doc
+        .get("tenants")
+        .and_then(|t| t.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: no tenants summary")));
+    for t in tenants {
+        for key in ["tenant", "responded", "p50_ticks", "p99_ticks"] {
+            if t.get(key).and_then(|v| v.as_f64()).is_none() {
+                fail(&format!("{path}: tenant summary missing {key}"));
+            }
+        }
+    }
+    let batches = doc.get("batches").and_then(|b| b.as_array()).map_or(0, |b| b.len());
+    println!(
+        "trace_check: OK {path} ({} requests, {batches} batches, {} tenants)",
+        requests.len(),
+        tenants.len()
+    );
+}
+
+/// Validate a `ts3.flight.v1` postmortem: the trigger fired and the
+/// event ring holds something to read.
+fn check_flight(path: &str) {
+    let doc = load(path);
+    check_schema(&doc, path, "ts3.flight.v1");
+    let trigger = doc
+        .get("trigger")
+        .unwrap_or_else(|| fail(&format!("{path}: no trigger object")));
+    let fired = trigger
+        .get("fired_at_tick")
+        .unwrap_or_else(|| fail(&format!("{path}: trigger has no fired_at_tick")));
+    if matches!(fired, Json::Null) {
+        fail(&format!("{path}: flight recorder never fired (fired_at_tick is null)"));
+    }
+    let events = doc
+        .get("events")
+        .and_then(|e| e.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: no events array")));
+    if events.is_empty() {
+        fail(&format!("{path}: postmortem event ring is empty"));
+    }
+    let misses = doc
+        .get("totals")
+        .and_then(|t| t.get("deadline_misses"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!(
+        "trace_check: OK {path} (fired at tick {}, {} events, {misses:.0} deadline misses)",
+        fired.as_f64().unwrap_or(-1.0),
+        events.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| fail("usage: trace_check <path> [--require-epoch] [--require-kernel-span]"));
+    if let Some(i) = args.iter().position(|a| a == "--timeline") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail("--timeline needs a path"));
+        check_timeline(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--flight") {
+        let path = args.get(i + 1).unwrap_or_else(|| fail("--flight needs a path"));
+        check_flight(path);
+        return;
+    }
+    let path = args.iter().find(|a| !a.starts_with("--")).unwrap_or_else(|| {
+        fail("usage: trace_check <path> [--require-epoch] [--require-kernel-span] | --timeline <path> | --flight <path>")
+    });
     let require_epoch = args.iter().any(|a| a == "--require-epoch");
     let require_kernel = args.iter().any(|a| a == "--require-kernel-span");
 
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let doc = Json::parse(&text)
-        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
-
-    if doc.get("schema").and_then(|v| v.as_str()) != Some(ts3_bench::TRACE_SCHEMA) {
-        fail(&format!("{path}: missing or wrong schema tag (want {})", ts3_bench::TRACE_SCHEMA));
-    }
+    let doc = load(path);
+    check_schema(&doc, path, ts3_bench::TRACE_SCHEMA);
     let spans = doc
         .get("trace")
         .and_then(|t| t.get("spans"))
@@ -93,6 +200,19 @@ fn main() {
         if flops <= 0.0 {
             fail(&format!("{path}: tensor.matmul.flops counter missing or zero"));
         }
+    }
+    // Split drop counters landed with obs v2; older manifests only have
+    // the dropped_records sum — tolerate absence, warn on overflow.
+    let dropped_spans = doc.get("dropped_spans").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let dropped_events = doc.get("dropped_events").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    if dropped_spans > 0.0 {
+        eprintln!(
+            "trace_check: WARN {path}: {dropped_spans:.0} spans dropped at the collector cap \
+             (raise TS3_TRACE_MAX_SPANS for a complete tree)"
+        );
+    }
+    if dropped_events > 0.0 {
+        eprintln!("trace_check: WARN {path}: {dropped_events:.0} events dropped at the collector cap");
     }
     println!(
         "trace_check: OK {path} ({} root spans, {epochs} epoch events, {kernels} kernel spans, {flops:.0} matmul flops)",

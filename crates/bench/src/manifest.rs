@@ -52,6 +52,7 @@ pub fn write_trace_manifest(
         return Ok(None);
     }
     let (spans, events, dropped) = ts3_obs::snapshot_records();
+    let (dropped_spans, dropped_events) = ts3_obs::dropped_counts();
     let threads_env = std::env::var("TS3_THREADS").ok();
     let doc = Json::obj([
         ("schema", Json::from(TRACE_SCHEMA)),
@@ -79,11 +80,16 @@ pub fn write_trace_manifest(
         ("trace", ts3_obs::trace_to_json(&spans, &events)),
         ("metrics", ts3_obs::metrics_to_json(&ts3_obs::metrics_snapshot())),
         ("dropped_records", Json::Num(dropped as f64)),
+        ("dropped_spans", Json::Num(dropped_spans as f64)),
+        ("dropped_events", Json::Num(dropped_events as f64)),
     ]);
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{stem}.trace.json"));
     std::fs::write(&path, doc.to_string_pretty())?;
+    // Span self-time in folded-stacks format rides along for flamegraph
+    // tooling (`results/<stem>.folded`).
+    std::fs::write(dir.join(format!("{stem}.folded")), ts3_obs::folded_stacks(&spans))?;
     ts3_obs::export::write_metrics_out()?;
     Ok(Some(path))
 }
@@ -161,6 +167,14 @@ mod tests {
                 .unwrap()
                 >= 2
         );
+        // Split drop counters are surfaced (zero in a short run) and the
+        // folded-stacks sidecar exists with our root span in it.
+        assert_eq!(doc.get("dropped_spans").unwrap().as_usize(), Some(0));
+        assert_eq!(doc.get("dropped_events").unwrap().as_usize(), Some(0));
+        let folded_path = path.with_extension("").with_extension("folded");
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert!(folded.contains("bench.train_forecaster"));
+        std::fs::remove_file(&folded_path).ok();
         std::fs::remove_file(&path).ok();
         ts3_obs::set_level(0);
         ts3_obs::reset();

@@ -142,6 +142,41 @@ fn kernel_outputs_byte_identical_across_warm_pool_caps() {
     set_max_threads(1);
 }
 
+/// Gauge last-write-wins semantics must survive the worker pool: with
+/// the pool dispatching kernels between driver-thread writes, the final
+/// gauge value (plain and labeled) is the program-order last write at
+/// every thread cap — workers never write gauges, so LWW stays
+/// deterministic.
+#[test]
+fn gauge_last_write_wins_under_pool_caps() {
+    let _guard = cap_lock();
+    ts3_obs::set_level(1);
+    let a = Tensor::randn(&[45, 37], 41);
+    let b = Tensor::randn(&[37, 53], 42);
+    for cap in [1usize, 4] {
+        set_max_threads(cap);
+        ts3_obs::reset();
+        for step in 0..8u64 {
+            let _ = a.matmul(&b); // keep the pool busy between writes
+            ts3_obs::gauge_set("test.progress", step as f64);
+            ts3_obs::gauge_set_l("test.progress", &[("tenant", "7")], (step * 2) as f64);
+        }
+        let m = ts3_obs::metrics_snapshot();
+        let plain = m.gauges.iter().find(|(k, _)| *k == "test.progress").map(|(_, v)| *v);
+        assert_eq!(plain, Some(7.0), "plain gauge LWW at cap={cap}");
+        let l = ts3_obs::labeled_snapshot();
+        let labeled = l
+            .gauges
+            .iter()
+            .find(|((k, _), _)| *k == "test.progress")
+            .map(|(_, v)| *v);
+        assert_eq!(labeled, Some(14.0), "labeled gauge LWW at cap={cap}");
+    }
+    ts3_obs::set_level(0);
+    ts3_obs::reset();
+    set_max_threads(1);
+}
+
 /// A panicking worker block must propagate its payload to the caller
 /// (not hang the latch or get swallowed), and the pool must stay usable
 /// afterwards.

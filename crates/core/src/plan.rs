@@ -296,6 +296,10 @@ impl CompiledPlan {
                 stage_span.field("stage", stage.clone());
                 stage_span.field("idx", i);
             }
+            // Files a per-stage execute segment into the serving
+            // timeline when a batch scope is open on this thread; inert
+            // (and allocation-free) otherwise.
+            let _tl = ts3_obs::stage_scope(stage);
             self.model.run_plan_stage(i, &mut state);
         }
         state.output.take().ok_or_else(|| PlanError::MissingOutput {

@@ -131,6 +131,45 @@ pub fn dump_json() -> Json {
     ])
 }
 
+/// Aggregate recorded spans into folded-stacks text — one line per
+/// distinct span stack path, `root;child;leaf <self_us>` — the input
+/// format flamegraph tooling eats directly. Self-time is the span's
+/// duration minus its children's (clamped at zero so clock jitter
+/// never produces negative samples); lines are sorted by path, so the
+/// *set of paths* is deterministic even though the microsecond values
+/// are wallclock.
+pub fn folded_stacks(spans: &[SpanRec]) -> String {
+    let mut spans: Vec<SpanRec> = spans.to_vec();
+    spans.sort_by_key(|s| s.id);
+    let index_of = |id: u64| spans.iter().position(|s| s.id == id);
+    // Self time = duration minus direct children's durations.
+    let mut self_ns: Vec<u64> = spans.iter().map(|s| s.dur_ns).collect();
+    for s in &spans {
+        if let Some(pi) = s.parent.and_then(index_of) {
+            self_ns[pi] = self_ns[pi].saturating_sub(s.dur_ns);
+        }
+    }
+    let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let mut path = vec![s.name];
+        let mut cur = s.parent;
+        while let Some(pi) = cur.and_then(index_of) {
+            path.push(spans[pi].name);
+            cur = spans[pi].parent;
+        }
+        path.reverse();
+        *folded.entry(path.join(";")).or_insert(0) += self_ns[i] / 1_000;
+    }
+    let mut out = String::new();
+    for (path, us) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 /// If `TS3_METRICS_OUT` is set, write the current metrics registry
 /// there as pretty JSON. Returns the path written.
 pub fn write_metrics_out() -> std::io::Result<Option<String>> {
@@ -181,6 +220,30 @@ mod tests {
         assert_eq!(m.get("gauges").unwrap().get("export.norm").unwrap().as_f64(), Some(2.0));
         let h = m.get("histograms").unwrap().get("export.dur").unwrap();
         assert_eq!(h.get("count").unwrap().as_usize(), Some(1));
+        crate::set_level(0);
+        crate::reset();
+    }
+
+    #[test]
+    fn folded_stacks_paths_and_self_time() {
+        let _g = test_lock();
+        crate::set_level(1);
+        crate::reset();
+        {
+            let _outer = crate::span("outer");
+            {
+                let _inner = crate::span("inner");
+            }
+            {
+                let _inner = crate::span("inner");
+            }
+        }
+        let (spans, _, _) = crate::trace::snapshot_records();
+        let folded = folded_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2, "two distinct paths: {folded}");
+        assert!(lines[0].starts_with("outer "), "paths sorted: {folded}");
+        assert!(lines[1].starts_with("outer;inner "), "repeat paths merge: {folded}");
         crate::set_level(0);
         crate::reset();
     }

@@ -1,0 +1,359 @@
+//! Labeled (dimensional) metrics: the fixed-cardinality registry behind
+//! `counter_add_l` / `gauge_set_l` / `observe_l`.
+//!
+//! The plain registry in [`crate::metrics`] keys series by a
+//! `&'static str` name only — perfect for kernel counters, useless for
+//! "which *tenant* is slow". This module adds a second registry keyed by
+//! `(name, sorted label set)`, stored in `BTreeMap`s so iteration order
+//! (and therefore every dump and the text exposition) is deterministic
+//! by construction — the same reason the FFT plan cache and autograd
+//! backward use `BTreeMap` (see PR 5 in `CHANGES.md`).
+//!
+//! Design constraints, in order:
+//!
+//! * **Fixed cardinality.** Label values are caller-supplied strings
+//!   (tenant ids, model names); an unbounded set would turn the registry
+//!   into a leak. Each metric name admits at most
+//!   [`MAX_SERIES_PER_METRIC`] distinct label sets; further sets are
+//!   dropped and counted in [`LabeledSnapshot::dropped_series`], never
+//!   silently lost.
+//! * **Exact tail latencies.** Labeled histograms keep the same
+//!   log-bucketed 1-2-5 ladder as the plain registry *and* (up to
+//!   [`MAX_EXACT_SAMPLES`] observations) the raw samples, so snapshots
+//!   report exact nearest-rank p50/p90/p99 rather than bucket upper
+//!   bounds. Past the cap the buckets keep counting and percentiles
+//!   degrade to bucket-resolution upper bounds ([`HistStats::exact`]
+//!   says which you got).
+//! * **Zero-label fast path.** The plain `counter_add`/`gauge_set`/
+//!   `observe` API is unchanged and remains the right call for
+//!   label-free series; this registry is only touched by `_l` calls.
+//!
+//! Like everything in `ts3-obs`, recording is gated on `TS3_TRACE >= 1`
+//! and the disabled path is one relaxed atomic load.
+
+use crate::gate;
+use crate::metrics::HIST_BOUNDS;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Most distinct label sets one metric name may accumulate; later sets
+/// are dropped (and counted) to keep cardinality production-safe.
+pub const MAX_SERIES_PER_METRIC: usize = 64;
+
+/// Raw samples kept per labeled histogram for exact percentiles; beyond
+/// this the buckets keep counting but percentiles become bucket upper
+/// bounds.
+pub const MAX_EXACT_SAMPLES: usize = 8_192;
+
+/// A canonical label set: `(key, value)` pairs sorted by key. Two call
+/// sites naming the same labels in a different order hit the same
+/// series.
+pub type LabelSet = Vec<(&'static str, String)>;
+
+fn canon(labels: &[(&'static str, &str)]) -> LabelSet {
+    let mut v: LabelSet = labels.iter().map(|(k, val)| (*k, (*val).to_string())).collect();
+    v.sort_by_key(|(k, _)| *k);
+    v
+}
+
+/// One labeled histogram: ladder buckets plus (while under the sample
+/// cap) the raw observations.
+#[derive(Debug, Clone)]
+struct LabeledHist {
+    count: u64,
+    sum: f64,
+    buckets: Vec<u64>,
+    samples: Vec<f64>,
+    samples_capped: bool,
+}
+
+#[derive(Default)]
+struct LabeledRegistry {
+    counters: BTreeMap<(&'static str, LabelSet), u64>,
+    gauges: BTreeMap<(&'static str, LabelSet), f64>,
+    hists: BTreeMap<(&'static str, LabelSet), LabeledHist>,
+    dropped_series: u64,
+}
+
+impl LabeledRegistry {
+    /// True when `name` may still admit the (new) series `key`.
+    fn admits<V>(
+        map: &BTreeMap<(&'static str, LabelSet), V>,
+        key: &(&'static str, LabelSet),
+    ) -> bool {
+        map.contains_key(key)
+            || map.keys().filter(|(n, _)| *n == key.0).count() < MAX_SERIES_PER_METRIC
+    }
+}
+
+fn registry() -> &'static Mutex<LabeledRegistry> {
+    static R: OnceLock<Mutex<LabeledRegistry>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(LabeledRegistry::default()))
+}
+
+/// Add `delta` to the counter `name` with `labels` (created at zero on
+/// first use). No-op when tracing is disabled; dropped (and counted)
+/// past the per-metric cardinality cap.
+pub fn counter_add_l(name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+    if !gate::enabled() {
+        return;
+    }
+    let key = (name, canon(labels));
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
+    let mut r = registry().lock().unwrap();
+    if !LabeledRegistry::admits(&r.counters, &key) {
+        r.dropped_series += 1;
+        return;
+    }
+    *r.counters.entry(key).or_insert(0) += delta;
+}
+
+/// Set the gauge `name` with `labels` to `value` (last write wins).
+/// No-op when tracing is disabled.
+pub fn gauge_set_l(name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+    if !gate::enabled() {
+        return;
+    }
+    let key = (name, canon(labels));
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
+    let mut r = registry().lock().unwrap();
+    if !LabeledRegistry::admits(&r.gauges, &key) {
+        r.dropped_series += 1;
+        return;
+    }
+    r.gauges.insert(key, value);
+}
+
+/// Record `value` into the labeled log-bucketed histogram `name`. NaN
+/// observations are dropped like the plain registry's.
+pub fn observe_l(name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+    if !gate::enabled() || value.is_nan() {
+        return;
+    }
+    let idx = crate::metrics::bucket_index(value);
+    let key = (name, canon(labels));
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
+    let mut r = registry().lock().unwrap();
+    if !LabeledRegistry::admits(&r.hists, &key) {
+        r.dropped_series += 1;
+        return;
+    }
+    let h = r.hists.entry(key).or_insert_with(|| LabeledHist {
+        count: 0,
+        sum: 0.0,
+        buckets: vec![0; HIST_BOUNDS.len() + 1],
+        samples: Vec::new(),
+        samples_capped: false,
+    });
+    h.count += 1;
+    h.sum += value;
+    h.buckets[idx] += 1;
+    if h.samples.len() < MAX_EXACT_SAMPLES {
+        h.samples.push(value);
+    } else {
+        h.samples_capped = true;
+    }
+}
+
+/// Percentile statistics of one labeled histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistStats {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Nearest-rank median.
+    pub p50: f64,
+    /// Nearest-rank 90th percentile.
+    pub p90: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// True when the percentiles are exact (computed from raw samples);
+    /// false when the sample cap was hit and they are ladder-bucket
+    /// upper bounds.
+    pub exact: bool,
+    /// Per-bucket counts on the shared [`HIST_BOUNDS`] ladder (tail
+    /// bucket is overflow).
+    pub buckets: Vec<u64>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0.0 for empty).
+fn rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Bucket-resolution percentile: the upper bound of the ladder bucket
+/// containing the nearest-rank observation.
+fn bucket_rank(buckets: &[u64], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = (((count - 1) as f64) * q).round() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if c > 0 && seen > target {
+            return if i < HIST_BOUNDS.len() { HIST_BOUNDS[i] } else { f64::INFINITY };
+        }
+    }
+    f64::INFINITY
+}
+
+impl HistStats {
+    fn from_hist(h: &LabeledHist) -> HistStats {
+        let (p50, p90, p99, exact) = if h.samples_capped {
+            (
+                bucket_rank(&h.buckets, h.count, 0.50),
+                bucket_rank(&h.buckets, h.count, 0.90),
+                bucket_rank(&h.buckets, h.count, 0.99),
+                false,
+            )
+        } else {
+            let mut sorted = h.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            (rank(&sorted, 0.50), rank(&sorted, 0.90), rank(&sorted, 0.99), true)
+        };
+        HistStats { count: h.count, sum: h.sum, p50, p90, p99, exact, buckets: h.buckets.clone() }
+    }
+}
+
+/// A point-in-time copy of the labeled registry, every family ordered by
+/// `(name, labels)` (the `BTreeMap` order), so dumps and expositions are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledSnapshot {
+    /// `(name, labels)` → accumulated counter value.
+    pub counters: Vec<((&'static str, LabelSet), u64)>,
+    /// `(name, labels)` → last gauge value.
+    pub gauges: Vec<((&'static str, LabelSet), f64)>,
+    /// `(name, labels)` → histogram statistics.
+    pub hists: Vec<((&'static str, LabelSet), HistStats)>,
+    /// Writes rejected by the per-metric cardinality cap.
+    pub dropped_series: u64,
+}
+
+/// Snapshot the labeled registry.
+pub fn labeled_snapshot() -> LabeledSnapshot {
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
+    let r = registry().lock().unwrap();
+    LabeledSnapshot {
+        counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        gauges: r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        hists: r.hists.iter().map(|(k, h)| (k.clone(), HistStats::from_hist(h))).collect(),
+        dropped_series: r.dropped_series,
+    }
+}
+
+/// Clear every labeled series and the dropped-series count.
+pub fn reset_labeled() {
+    // ts3-lint: allow(no-unwrap-in-lib) registry mutex poisoning means a recording thread panicked; metrics state is unrecoverable
+    let mut r = registry().lock().unwrap();
+    r.counters.clear();
+    r.gauges.clear();
+    r.hists.clear();
+    r.dropped_series = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::test_lock;
+
+    #[test]
+    fn disabled_labeled_registry_records_nothing() {
+        let _g = test_lock();
+        crate::set_level(0);
+        reset_labeled();
+        counter_add_l("c", &[("tenant", "0")], 5);
+        gauge_set_l("g", &[("tenant", "0")], 1.0);
+        observe_l("h", &[("tenant", "0")], 0.5);
+        let s = labeled_snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.hists.is_empty());
+        assert_eq!(s.dropped_series, 0);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized_and_series_accumulate() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_labeled();
+        counter_add_l("serve.requests", &[("tenant", "1"), ("model", "DLinear")], 2);
+        counter_add_l("serve.requests", &[("model", "DLinear"), ("tenant", "1")], 3);
+        counter_add_l("serve.requests", &[("tenant", "0"), ("model", "TS3Net")], 1);
+        gauge_set_l("depth", &[("tenant", "0")], 4.0);
+        gauge_set_l("depth", &[("tenant", "0")], 2.0);
+        let s = labeled_snapshot();
+        assert_eq!(s.counters.len(), 2, "swapped label order must hit the same series");
+        // BTreeMap order: "DLinear" sorts before "TS3Net".
+        let (key, v) = &s.counters[0];
+        assert_eq!(key.0, "serve.requests");
+        assert_eq!(key.1, vec![("model", "DLinear".to_string()), ("tenant", "1".to_string())]);
+        assert_eq!(*v, 5);
+        assert_eq!(s.gauges[0].1, 2.0, "gauge is last-write-wins");
+        crate::set_level(0);
+        reset_labeled();
+    }
+
+    #[test]
+    fn labeled_hist_reports_exact_percentiles() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_labeled();
+        // 1..=100 ticks: exact nearest-rank percentiles are knowable.
+        for v in 1..=100u64 {
+            observe_l("lat", &[("tenant", "0")], v as f64);
+        }
+        let s = labeled_snapshot();
+        let (_, h) = &s.hists[0];
+        assert_eq!(h.count, 100);
+        assert!(h.exact);
+        assert_eq!(h.p50, 51.0); // round(99 * 0.5) = 50 -> sorted[50]
+        assert_eq!(h.p90, 90.0); // round(99 * 0.9) = 89 -> sorted[89]
+        assert_eq!(h.p99, 99.0); // round(99 * 0.99) = 98 -> sorted[98]
+        assert_eq!(h.sum, 5050.0);
+        crate::set_level(0);
+        reset_labeled();
+    }
+
+    #[test]
+    fn cardinality_cap_drops_and_counts_new_series() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_labeled();
+        for i in 0..(MAX_SERIES_PER_METRIC + 5) {
+            let v = i.to_string();
+            counter_add_l("capped", &[("tenant", v.as_str())], 1);
+        }
+        // Existing series still accept writes at the cap.
+        counter_add_l("capped", &[("tenant", "0")], 1);
+        let s = labeled_snapshot();
+        let capped: Vec<_> = s.counters.iter().filter(|((n, _), _)| *n == "capped").collect();
+        assert_eq!(capped.len(), MAX_SERIES_PER_METRIC);
+        assert_eq!(s.dropped_series, 5);
+        assert_eq!(capped[0].1, 2, "series under the cap keep accumulating");
+        crate::set_level(0);
+        reset_labeled();
+    }
+
+    #[test]
+    fn sample_cap_degrades_to_bucket_upper_bounds() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_labeled();
+        for _ in 0..(MAX_EXACT_SAMPLES + 10) {
+            observe_l("big", &[], 3.0);
+        }
+        let s = labeled_snapshot();
+        let (_, h) = &s.hists[0];
+        assert_eq!(h.count, (MAX_EXACT_SAMPLES + 10) as u64);
+        assert!(!h.exact);
+        assert_eq!(h.p50, 5.0, "3.0 lands in the (2, 5] ladder bucket");
+        assert_eq!(h.p99, 5.0);
+        crate::set_level(0);
+        reset_labeled();
+    }
+}

@@ -7,6 +7,24 @@
 //! `tracing` + `metrics` crates would play in a non-hermetic build, with
 //! zero external dependencies.
 //!
+//! Since the v2 telemetry pass the crate also carries the production
+//! serving pipeline — each layer answering a different question:
+//!
+//! * [`labels`] — *which tenant is slow?* Fixed-cardinality dimensional
+//!   metrics ([`counter_add_l`] etc.) with exact p50/p90/p99 labeled
+//!   histograms; the plain static-name API stays as the zero-label fast
+//!   path.
+//! * [`timeline`] — *where did this request's latency go?* A
+//!   [`RequestCtx`] minted at enqueue, tracked through
+//!   queue-wait → coalesce-hold → per-stage execute → respond, exported
+//!   as `ts3.timeline.v1`.
+//! * [`flight`] — *what happened right before it broke?* A bounded
+//!   event ring + rolling deadline-miss SLO window, dumping a
+//!   `ts3.flight.v1` postmortem on threshold crossing or panic.
+//! * [`expo`] — Prometheus-style text exposition of both registries,
+//!   byte-deterministic ordering; [`folded_stacks`] renders span
+//!   self-time for flamegraph tooling.
+//!
 //! ## Gating
 //!
 //! Everything hangs off one env-gated level, read once per process:
@@ -62,26 +80,41 @@
 //! ts3_obs::set_level(0);
 //! ```
 
+pub mod expo;
 pub mod export;
+pub mod flight;
 pub mod gate;
+pub mod labels;
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
-pub use export::{dump_json, metrics_to_json, trace_to_json};
+pub use export::{dump_json, folded_stacks, metrics_to_json, trace_to_json};
 pub use gate::{enabled, explicitly_silent, level, metrics_out, set_level, verbose};
+pub use labels::{
+    counter_add_l, gauge_set_l, labeled_snapshot, observe_l, reset_labeled, HistStats,
+    LabeledSnapshot,
+};
 pub use metrics::{
     counter_add, gauge_set, metrics_snapshot, observe, reset_metrics, HistSnapshot,
     MetricsSnapshot,
 };
+pub use timeline::{
+    begin_batch, begin_request, deterministic_digest, mark_flushed, mark_respond, mark_seen,
+    reset_timeline, stage_scope, timeline_snapshot, timeline_to_json, RequestCtx,
+};
 pub use trace::{
-    event, reset_trace, snapshot_records, span, tree_shape, EventRec, FieldValue, Fields, Span,
-    SpanRec,
+    dropped_counts, event, reset_trace, snapshot_records, span, tree_shape, EventRec, FieldValue,
+    Fields, Span, SpanRec,
 };
 
-/// Clear every recorded span, event and metric (the gate level is left
-/// untouched). Intended for tests and multi-run tools that want one
-/// dump per run.
+/// Clear every recorded span, event, metric, labeled series and
+/// timeline record (the gate level and the flight recorder — which is
+/// armed explicitly via [`flight::configure`] — are left untouched).
+/// Intended for tests and multi-run tools that want one dump per run.
 pub fn reset() {
     reset_trace();
     reset_metrics();
+    reset_labeled();
+    reset_timeline();
 }

@@ -192,4 +192,46 @@ mod tests {
         assert_eq!(bucket_index(1.0), 27);
         assert_eq!(bucket_index(2e9), HIST_BOUNDS.len());
     }
+
+    #[test]
+    fn bucket_index_edge_cases() {
+        // Every exact bound lands in its own bucket (bounds are upper
+        // bounds, comparison is `<=`), and the next representable value
+        // up spills into the following one.
+        for (i, &b) in HIST_BOUNDS.iter().enumerate() {
+            assert_eq!(bucket_index(b), i, "exact bound {b}");
+            let expected_next = if i + 1 < HIST_BOUNDS.len() { i + 1 } else { HIST_BOUNDS.len() };
+            assert_eq!(bucket_index(b * (1.0 + 1e-12)), expected_next, "just above {b}");
+        }
+        // Zero and negatives clamp into the first bucket.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), 0);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE), 0);
+        // Overflow: above the last bound, and +inf.
+        assert_eq!(bucket_index(1e9 + 1.0), HIST_BOUNDS.len());
+        assert_eq!(bucket_index(f64::INFINITY), HIST_BOUNDS.len());
+        // NaN compares false with every bound, so it falls through to
+        // the overflow index — `observe` drops NaN before ever getting
+        // here, but the function itself must not panic or index out of
+        // bounds.
+        assert_eq!(bucket_index(f64::NAN), HIST_BOUNDS.len());
+    }
+
+    #[test]
+    fn observe_drops_nan_but_counts_infinity() {
+        let _g = test_lock();
+        crate::set_level(1);
+        reset_metrics();
+        observe("edge", f64::NAN);
+        let s = metrics_snapshot();
+        assert!(s.hists.is_empty(), "NaN observation must be dropped");
+        observe("edge", f64::INFINITY);
+        let s = metrics_snapshot();
+        assert_eq!(s.hists[0].1.count, 1);
+        assert_eq!(s.hists[0].1.buckets[HIST_BOUNDS.len()], 1, "inf lands in overflow");
+        crate::set_level(0);
+        reset_metrics();
+    }
 }

@@ -141,7 +141,8 @@ pub struct EventRec {
 struct Collector {
     spans: Vec<SpanRec>,
     events: Vec<EventRec>,
-    dropped: u64,
+    dropped_spans: u64,
+    dropped_events: u64,
 }
 
 fn collector() -> &'static Mutex<Collector> {
@@ -239,7 +240,7 @@ impl Drop for Span {
         if c.spans.len() < max_spans() {
             c.spans.push(rec);
         } else {
-            c.dropped += 1;
+            c.dropped_spans += 1;
         }
     }
 }
@@ -287,17 +288,28 @@ pub fn event(name: &'static str, fill: impl FnOnce(&mut Fields)) {
     if c.events.len() < MAX_EVENTS {
         c.events.push(rec);
     } else {
-        c.dropped += 1;
+        c.dropped_events += 1;
     }
 }
 
 /// Clone the collector contents: `(spans, events, dropped)`. Spans and
 /// events are in record order (span record order = completion order;
-/// ids give creation order).
+/// ids give creation order). The third element is the *total* dropped
+/// count; [`dropped_counts`] splits it by record kind.
 pub fn snapshot_records() -> (Vec<SpanRec>, Vec<EventRec>, u64) {
     // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
     let c = collector().lock().unwrap();
-    (c.spans.clone(), c.events.clone(), c.dropped)
+    (c.spans.clone(), c.events.clone(), c.dropped_spans + c.dropped_events)
+}
+
+/// Records rejected by the capacity caps, split as
+/// `(dropped_spans, dropped_events)`. A non-zero span count means the
+/// trace is truncated and `TS3_TRACE_MAX_SPANS` (or the work volume)
+/// should be revisited — `trace_check` warns on it.
+pub fn dropped_counts() -> (u64, u64) {
+    // ts3-lint: allow(no-unwrap-in-lib) collector mutex poisoning means a tracing thread panicked; trace state is unrecoverable
+    let c = collector().lock().unwrap();
+    (c.dropped_spans, c.dropped_events)
 }
 
 /// Clear all recorded spans and events.
@@ -306,7 +318,8 @@ pub fn reset_trace() {
     let mut c = collector().lock().unwrap();
     c.spans.clear();
     c.events.clear();
-    c.dropped = 0;
+    c.dropped_spans = 0;
+    c.dropped_events = 0;
 }
 
 /// Canonical description of the span tree *shape*: names, nesting and

@@ -54,6 +54,10 @@ fn no_alloc_when_disabled() {
     ts3_obs::counter_add("warm", 1);
     ts3_obs::gauge_set("warm", 0.0);
     ts3_obs::observe("warm", 0.0);
+    ts3_obs::counter_add_l("warm", &[("tenant", "0")], 1);
+    let _ = ts3_obs::begin_request(0, 0, 1);
+    drop(ts3_obs::begin_batch(0, 0, 1));
+    ts3_obs::flight::note_response(0, 0, false);
 
     let before = ALLOCS.load(Ordering::SeqCst);
     for i in 0..10_000u64 {
@@ -64,6 +68,22 @@ fn no_alloc_when_disabled() {
         ts3_obs::gauge_set("optim.grad_norm", 0.5);
         ts3_obs::observe("optim.grad_norm", 0.5);
         ts3_obs::event("epoch", |f| f.set("loss", 0.5f64));
+        // v2 entry points: labeled metrics, request timelines and the
+        // (unconfigured) flight recorder are equally free when off.
+        // Label slices of static strs are stack-built — no heap.
+        ts3_obs::counter_add_l("serve.requests", &[("tenant", "0")], 1);
+        ts3_obs::gauge_set_l("serve.queue_depth", &[("tenant", "0")], 1.0);
+        ts3_obs::observe_l("serve.latency_ticks", &[("tenant", "0")], 1.0);
+        let ctx = ts3_obs::begin_request(0, i, i + 2);
+        ts3_obs::mark_seen(ctx, i);
+        {
+            let b = ts3_obs::begin_batch(0, i, 1);
+            ts3_obs::mark_flushed(ctx, i, b.id(), 1);
+            let _stage = ts3_obs::stage_scope("stage");
+        }
+        ts3_obs::mark_respond(ctx, i, false);
+        ts3_obs::flight::note_response(i, 0, false);
+        ts3_obs::flight::note_drift(i, 0, 8, 8);
     }
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "disabled spans/events/metrics must not allocate");
@@ -73,4 +93,9 @@ fn no_alloc_when_disabled() {
     assert!(spans.is_empty() && events.is_empty() && dropped == 0);
     let m = ts3_obs::metrics_snapshot();
     assert!(m.counters.is_empty() && m.gauges.is_empty() && m.hists.is_empty());
+    let l = ts3_obs::labeled_snapshot();
+    assert!(l.counters.is_empty() && l.gauges.is_empty() && l.hists.is_empty());
+    let (reqs, batches, tl_dropped) = ts3_obs::timeline_snapshot();
+    assert!(reqs.is_empty() && batches.is_empty() && tl_dropped == 0);
+    assert!(ts3_obs::flight::to_json().is_none());
 }

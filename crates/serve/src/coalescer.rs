@@ -11,6 +11,13 @@
 //! * it has reached `max_batch` entries (flushed in full-batch chunks),
 //! * its oldest entry has waited `max_hold` ticks (bounded latency), or
 //! * waiting one more tick would miss some entry's deadline.
+//!
+//! The scheduler self-reports through `ts3-obs`: a `serve.queue_depth`
+//! gauge tracks items still queued after every push/flush, and a
+//! `serve.coalesce_hold` histogram observes how many ticks each flushed
+//! item was held past its first evaluation. Both are tick-valued (the
+//! coalescer owns no clock), so the dumps are deterministic and
+//! thread-count-invariant like every other serving metric.
 
 /// Coalescing policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +43,19 @@ pub struct Pending<T> {
     pub submitted: u64,
     /// Tick by which the caller wants the forecast back.
     pub deadline: u64,
+    /// Tick the coalescer first evaluated this item (`None` until the
+    /// first [`Coalescer::due`]/[`Coalescer::drain_all`] sees it). The
+    /// queue-wait segment of a request timeline ends here.
+    pub seen: Option<u64>,
     /// Owner-defined payload.
     pub payload: T,
+}
+
+impl<T> Pending<T> {
+    /// A freshly submitted item (not yet seen by the scheduler).
+    pub fn new(submitted: u64, deadline: u64, payload: T) -> Pending<T> {
+        Pending { submitted, deadline, seen: None, payload }
+    }
 }
 
 /// Per-tenant FIFO queues with the flush policy above. Tenants are dense
@@ -70,17 +88,40 @@ impl<T> Coalescer<T> {
     /// Enqueue an item for `tenant`.
     pub fn push(&mut self, tenant: usize, item: Pending<T>) {
         self.queues[tenant].push(item);
+        ts3_obs::gauge_set("serve.queue_depth", self.pending() as f64);
+    }
+
+    /// Stamp the first-evaluation tick on every unseen item and observe
+    /// the hold histogram for everything in `batches` (tick each item
+    /// waited past its first evaluation).
+    fn account_flush(&mut self, now: u64, batches: &[(usize, Vec<Pending<T>>)]) {
+        for q in &mut self.queues {
+            for p in q.iter_mut() {
+                p.seen.get_or_insert(now);
+            }
+        }
+        for (_, batch) in batches {
+            for p in batch {
+                let held = now.saturating_sub(p.seen.unwrap_or(now));
+                ts3_obs::observe("serve.coalesce_hold", held as f64);
+            }
+        }
+        ts3_obs::gauge_set("serve.queue_depth", self.pending() as f64);
     }
 
     /// Remove and return every batch due at tick `now`, in tenant order,
     /// FIFO within each tenant, each batch at most `max_batch` long.
+    /// Every item still queued afterwards has its `seen` tick stamped.
     pub fn due(&mut self, now: u64) -> Vec<(usize, Vec<Pending<T>>)> {
         let mut out = Vec::new();
         for tenant in 0..self.queues.len() {
             loop {
-                let q = &self.queues[tenant];
+                let q = &mut self.queues[tenant];
                 if q.is_empty() {
                     break;
+                }
+                for p in q.iter_mut() {
+                    p.seen.get_or_insert(now);
                 }
                 let full = q.len() >= self.cfg.max_batch;
                 let held = now.saturating_sub(q[0].submitted) >= self.cfg.max_hold;
@@ -93,20 +134,25 @@ impl<T> Coalescer<T> {
                 out.push((tenant, batch));
             }
         }
+        self.account_flush(now, &out);
         out
     }
 
-    /// Remove and return everything, due or not (graceful shutdown),
-    /// chunked at `max_batch`.
-    pub fn drain_all(&mut self) -> Vec<(usize, Vec<Pending<T>>)> {
+    /// Remove and return everything, due or not (graceful shutdown at
+    /// tick `now`), chunked at `max_batch`.
+    pub fn drain_all(&mut self, now: u64) -> Vec<(usize, Vec<Pending<T>>)> {
         let mut out = Vec::new();
         for tenant in 0..self.queues.len() {
+            for p in self.queues[tenant].iter_mut() {
+                p.seen.get_or_insert(now);
+            }
             while !self.queues[tenant].is_empty() {
                 let take = self.queues[tenant].len().min(self.cfg.max_batch);
                 let batch: Vec<Pending<T>> = self.queues[tenant].drain(..take).collect();
                 out.push((tenant, batch));
             }
         }
+        self.account_flush(now, &out);
         out
     }
 }
@@ -116,7 +162,7 @@ mod tests {
     use super::*;
 
     fn item(submitted: u64, deadline: u64) -> Pending<u32> {
-        Pending { submitted, deadline, payload: 0 }
+        Pending::new(submitted, deadline, 0)
     }
 
     fn cfg(max_batch: usize, max_hold: u64) -> CoalescerConfig {
@@ -187,16 +233,30 @@ mod tests {
         c.push(0, item(0, 1000));
         c.push(1, item(0, 1000));
         assert!(c.due(0).is_empty());
-        let drained = c.drain_all();
+        let drained = c.drain_all(1);
         assert_eq!(drained.len(), 2);
         assert_eq!(c.pending(), 0);
     }
 
     #[test]
+    fn seen_is_stamped_on_first_evaluation_and_sticks() {
+        let mut c = Coalescer::new(1, cfg(8, 3));
+        c.push(0, item(5, 1_000));
+        assert!(c.due(6).is_empty(), "held only 1 tick");
+        let due = c.due(8);
+        assert_eq!(due.len(), 1, "held 3 ticks from submit -> flush");
+        assert_eq!(due[0].1[0].seen, Some(6), "first evaluation tick must stick");
+        // An item flushed on its first evaluation is seen at that tick.
+        c.push(0, item(20, 21));
+        let due = c.due(20);
+        assert_eq!(due[0].1[0].seen, Some(20));
+    }
+
+    #[test]
     fn fifo_within_tenant() {
         let mut c = Coalescer::new(1, cfg(8, 0));
-        c.push(0, Pending { submitted: 0, deadline: 10, payload: 1u32 });
-        c.push(0, Pending { submitted: 0, deadline: 10, payload: 2u32 });
+        c.push(0, Pending::new(0, 10, 1u32));
+        c.push(0, Pending::new(0, 10, 2u32));
         let due = c.due(5);
         let order: Vec<u32> = due[0].1.iter().map(|p| p.payload).collect();
         assert_eq!(order, vec![1, 2]);

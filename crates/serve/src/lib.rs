@@ -24,8 +24,24 @@
 //!   pulses feeding the warm plans through the same coalescer, with a
 //!   sliding-DFT period-drift monitor. Same determinism contract as
 //!   [`sim`].
-//! * [`report`] — nearest-rank latency percentiles and `ts3.bench.v1`
-//!   emission compatible with the `bench_compare` regression gate.
+//! * [`report`] — nearest-rank latency percentiles, `ts3.bench.v1`
+//!   emission compatible with the `bench_compare` regression gate, and
+//!   the telemetry artifact writers (`ts3.timeline.v1` request
+//!   timelines, `ts3.flight.v1` postmortems, Prometheus text
+//!   exposition, folded stacks) used by the `serve_obs` binary.
+//!
+//! ## Observability
+//!
+//! The serving path is instrumented end to end through `ts3-obs` v2:
+//! every accepted request mints a [`ts3_obs::RequestCtx`] and is
+//! tracked queue-wait → coalesce-hold → batched per-stage execute →
+//! respond; the coalescer reports `serve.queue_depth` /
+//! `serve.coalesce_hold`; the executor records per-tenant labeled
+//! `serve.requests` / `serve.latency_ticks` / `serve.deadline_miss`
+//! series and feeds every response (plus the online mode's period-drift
+//! alerts) to the `ts3_obs::flight` recorder. All instrumentation is
+//! tick-valued where determinism matters, so traced and untraced runs
+//! produce byte-identical reports at any thread cap.
 //!
 //! ## Quickstart
 //!
@@ -77,7 +93,10 @@ pub mod sim;
 pub use clock::{Clock, VirtualClock};
 pub use coalescer::{Coalescer, CoalescerConfig, Pending};
 pub use online::{run_online_sim, OnlineConfig, OnlineReport};
-pub use report::{percentile_ns, summarize, write_bench_json, BenchRow, LatencySummary};
+pub use report::{
+    percentile_ns, summarize, write_bench_json, write_exposition, write_flight_json,
+    write_folded, write_timeline_json, BenchRow, LatencySummary,
+};
 pub use server::{
     ForecastRequest, ForecastResponse, ServeError, ServerConfig, ServerHandle, ServerStats,
     StepReport,

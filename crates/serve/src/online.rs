@@ -164,8 +164,12 @@ pub fn run_online_sim(
                 report.t_f_changes += 1;
             }
             stream.last_t_f = Some(emit.t_f);
-            if stream.monitor.ready() && stream.monitor.dominant_period() != emit.t_f {
+            if let Some(observed) = stream.monitor.drift_against(emit.t_f) {
                 report.drift_alerts += 1;
+                crate::server::with_tenant_label(stream.tenant, |labels| {
+                    ts3_obs::counter_add_l("stream.drift_alerts", labels, 1);
+                });
+                ts3_obs::flight::note_drift(now, stream.tenant, emit.t_f, observed);
             }
             if stream.in_flight {
                 report.pulses_skipped += 1;

@@ -1,9 +1,14 @@
-//! Latency summarization and `ts3.bench.v1` emission.
+//! Latency summarization, `ts3.bench.v1` emission, and the telemetry
+//! artifact writers (`ts3.timeline.v1`, `ts3.flight.v1`, Prometheus
+//! text exposition, folded stacks).
 //!
 //! The serving benchmark reports through the same JSON schema as the
 //! kernel/model benchmarks (`crates/bench`), so `bench_compare` can gate
 //! serving-latency regressions with zero new tooling. Percentiles use
-//! the same nearest-rank rule as `crates/bench::timing`.
+//! the same nearest-rank rule as `crates/bench::timing`. The telemetry
+//! writers are thin filesystem shims over `ts3-obs` — the `serve_obs`
+//! binary calls them after a traced run; they live here (binary-adjacent
+//! code) so library modules stay free of file I/O.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -102,6 +107,41 @@ impl BenchRow {
             iters,
         }
     }
+}
+
+/// Write the current request-timeline registry as a `ts3.timeline.v1`
+/// document (see `ts3_obs::timeline_to_json` for the schema).
+pub fn write_timeline_json(path: &Path) -> io::Result<PathBuf> {
+    std::fs::write(path, ts3_obs::timeline_to_json().to_string_pretty())?;
+    Ok(path.to_path_buf())
+}
+
+/// Write the flight recorder's `ts3.flight.v1` postmortem, if the
+/// recorder is armed and has fired. Returns `Ok(None)` (writing
+/// nothing) when there is no postmortem to dump.
+pub fn write_flight_json(path: &Path) -> io::Result<Option<PathBuf>> {
+    match ts3_obs::flight::to_json() {
+        Some(doc) => {
+            std::fs::write(path, doc.to_string_pretty())?;
+            Ok(Some(path.to_path_buf()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Write the Prometheus-style text exposition of both metric registries
+/// (`ts3_obs::expo::render` — byte-deterministic ordering).
+pub fn write_exposition(path: &Path) -> io::Result<PathBuf> {
+    std::fs::write(path, ts3_obs::expo::render())?;
+    Ok(path.to_path_buf())
+}
+
+/// Write the recorded span tree as folded stacks (`path self_us` lines,
+/// flamegraph input format).
+pub fn write_folded(path: &Path) -> io::Result<PathBuf> {
+    let (spans, _, _) = ts3_obs::snapshot_records();
+    std::fs::write(path, ts3_obs::folded_stacks(&spans))?;
+    Ok(path.to_path_buf())
 }
 
 /// Write rows as a `ts3.bench.v1` document (the same schema

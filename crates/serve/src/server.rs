@@ -213,10 +213,30 @@ impl Drop for ServerHandle {
     }
 }
 
+/// What rides through the coalescer for one accepted request: the
+/// window, its deadline, the timeline identity minted at accept, and
+/// the reply channel.
+struct Queued {
+    input: Tensor,
+    deadline: u64,
+    ctx: ts3_obs::RequestCtx,
+    reply: Sender<ForecastResponse>,
+}
+
 struct Executor {
     plans: Vec<CompiledPlan>,
-    coalescer: Coalescer<(Tensor, u64, Sender<ForecastResponse>)>,
+    coalescer: Coalescer<Queued>,
     stats: ServerStats,
+}
+
+/// Run `f` with the tenant's decimal label, only when tracing is
+/// enabled — labeled call sites pay no formatting/allocation on the
+/// disabled path.
+pub(crate) fn with_tenant_label(tenant: usize, f: impl FnOnce(&[(&'static str, &str)])) {
+    if ts3_obs::enabled() {
+        let t = tenant.to_string();
+        f(&[("tenant", t.as_str())]);
+    }
 }
 
 fn executor(
@@ -264,6 +284,9 @@ impl Executor {
     fn accept(&mut self, req: ForecastRequest, reply: Sender<ForecastResponse>) {
         self.stats.requests += 1;
         ts3_obs::counter_add("serve.requests", 1);
+        with_tenant_label(req.tenant, |labels| {
+            ts3_obs::counter_add_l("serve.requests", labels, 1);
+        });
         let err = if req.tenant >= self.plans.len() {
             Some(ServeError::UnknownTenant { tenant: req.tenant, tenants: self.plans.len() })
         } else {
@@ -285,18 +308,20 @@ impl Executor {
             });
             return;
         }
+        let ctx = ts3_obs::begin_request(req.tenant, req.submitted, req.deadline);
         self.coalescer.push(
             req.tenant,
-            Pending {
-                submitted: req.submitted,
-                deadline: req.deadline,
-                payload: (req.input, req.deadline, reply),
-            },
+            Pending::new(
+                req.submitted,
+                req.deadline,
+                Queued { input: req.input, deadline: req.deadline, ctx, reply },
+            ),
         );
     }
 
     fn run_due(&mut self, now: u64, drain: bool) -> StepReport {
-        let batches = if drain { self.coalescer.drain_all() } else { self.coalescer.due(now) };
+        let batches =
+            if drain { self.coalescer.drain_all(now) } else { self.coalescer.due(now) };
         let mut report = StepReport::default();
         for (tenant, batch) in batches {
             report.batches += 1;
@@ -307,12 +332,7 @@ impl Executor {
         report
     }
 
-    fn execute(
-        &mut self,
-        tenant: usize,
-        batch: Vec<Pending<(Tensor, u64, Sender<ForecastResponse>)>>,
-        now: u64,
-    ) {
+    fn execute(&mut self, tenant: usize, batch: Vec<Pending<Queued>>, now: u64) {
         let plan = &self.plans[tenant];
         let [lookback, c_in] = plan.geometry();
         let n = batch.len();
@@ -325,15 +345,20 @@ impl Executor {
             span.field("size", n);
             span.field("model", plan.name().to_string());
         }
-        // Stack the windows into one [N, T, C] execution.
+        // Stack the windows into one [N, T, C] execution, timed as one
+        // timeline batch — `CompiledPlan::run` files its per-stage
+        // execute segments into this scope.
         let mut data = Vec::with_capacity(n * lookback * c_in);
         for p in &batch {
-            data.extend_from_slice(p.payload.0.as_slice());
+            data.extend_from_slice(p.payload.input.as_slice());
         }
         let stacked = Tensor::from_vec(data, &[n, lookback, c_in]);
+        let batch_guard = ts3_obs::begin_batch(tenant, now, n);
+        let batch_id = batch_guard.id();
         let outcome = plan.run(&stacked);
+        drop(batch_guard);
         for (i, p) in batch.into_iter().enumerate() {
-            let (_, deadline, reply) = p.payload;
+            let Queued { deadline, ctx, reply, .. } = p.payload;
             let result = match &outcome {
                 Ok(y) => {
                     let h = y.shape()[1];
@@ -351,6 +376,20 @@ impl Executor {
                 self.stats.deadline_misses += 1;
                 ts3_obs::counter_add("serve.deadline_miss", 1);
             }
+            with_tenant_label(tenant, |labels| {
+                ts3_obs::observe_l(
+                    "serve.latency_ticks",
+                    labels,
+                    now.saturating_sub(p.submitted) as f64,
+                );
+                if deadline_missed {
+                    ts3_obs::counter_add_l("serve.deadline_miss", labels, 1);
+                }
+            });
+            ts3_obs::mark_seen(ctx, p.seen.unwrap_or(now));
+            ts3_obs::mark_flushed(ctx, now, batch_id, n);
+            ts3_obs::mark_respond(ctx, now, deadline_missed);
+            ts3_obs::flight::note_response(now, tenant, deadline_missed);
             let _ = reply.send(ForecastResponse {
                 result,
                 submitted: p.submitted,

@@ -38,6 +38,12 @@ pub struct SimConfig {
     pub tenants: Vec<[usize; 2]>,
     /// Server/batching knobs.
     pub server: ServerConfig,
+    /// Optional injected outage: during ticks `[start, start + len)` the
+    /// server's scheduling step is skipped while clients keep
+    /// submitting, so queued deadlines slip and the run produces a
+    /// deterministic deadline-miss burst. Used to exercise the
+    /// `ts3_obs::flight` recorder's SLO trigger.
+    pub stall: Option<(u64, u64)>,
 }
 
 /// What a simulation run produced. Every field is deterministic.
@@ -124,8 +130,10 @@ pub fn run_sim(
                 client.in_flight = true;
             }
         }
-        // 2) The server schedules and executes everything due this tick.
-        if server.step(now).is_err() {
+        // 2) The server schedules and executes everything due this tick
+        //    — unless this tick falls inside an injected stall window.
+        let stalled = cfg.stall.is_some_and(|(start, len)| now >= start && now < start + len);
+        if !stalled && server.step(now).is_err() {
             break;
         }
         // 3) Collect replies (lockstep: all responses for this tick are

@@ -435,6 +435,7 @@ fn simulation_is_deterministic_across_runs_and_thread_caps() {
         deadline_slack: 4,
         tenants: vec![[LOOKBACK, CHANNELS], [LOOKBACK, CHANNELS]],
         server: serve_cfg(4, 2),
+        stall: None,
     };
     let builder = || vec![freeze("TS3Net", 7), freeze("DLinear", 7)];
     set_max_threads(1);

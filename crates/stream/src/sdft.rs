@@ -175,6 +175,23 @@ impl SlidingDft {
         assert!(self.ready(), "SlidingDft::dominant_period: window not full yet");
         dominant_period_from_spectrum(&self.mean_amplitude(), self.t)
     }
+
+    /// Period-drift check: `Some(observed)` when the window is full and
+    /// the monitor's dominant period disagrees with `expected` (the
+    /// exact `T_f` of the matching pulse), `None` otherwise. A detected
+    /// drift bumps the `stream.sdft.drift_alerts` counter; callers
+    /// (the online serving loop) feed it to the flight recorder.
+    pub fn drift_against(&self, expected: usize) -> Option<usize> {
+        if !self.ready() {
+            return None;
+        }
+        let observed = self.dominant_period();
+        if observed == expected {
+            return None;
+        }
+        ts3_obs::counter_add("stream.sdft.drift_alerts", 1);
+        Some(observed)
+    }
 }
 
 #[cfg(test)]
