@@ -16,9 +16,8 @@
 
 use ts3_bench::timing::{black_box, Harness};
 use ts3_bench::RunProfile;
-use ts3_signal::complex::Complex32;
 use ts3_signal::decompose::{spectrum_gradient, trend_decompose, DEFAULT_TREND_KERNELS};
-use ts3_signal::fft::fft;
+use ts3_signal::fft::{rfft, rfft_half};
 use ts3_signal::{CwtPlan, WaveletKind};
 use ts3_tensor::{conv2d, Tensor};
 
@@ -28,12 +27,19 @@ fn smoke() -> bool {
 }
 
 fn bench_fft(h: &mut Harness) {
+    // `fft/{n}` tracks the cost of "full spectrum of one length-n real
+    // window" — the operation every spectral consumer in the workspace
+    // performs. It now runs through the packed real-input transform
+    // (rfft), so the time series across commits shows the rfft win
+    // directly; `rfft_half/{n}` additionally tracks the half-spectrum
+    // entry the periodogram/sliding-DFT paths use.
     let sizes: &[usize] = if smoke() { &[96, 256] } else { &[96, 256, 1024] };
     for &n in sizes {
-        let x: Vec<Complex32> = (0..n)
-            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        let x: Vec<f32> = (0..n)
+            .map(|i| (i as f32 * 0.37).sin() + 0.5 * (i as f32 * 0.11).cos())
             .collect();
-        h.bench(&format!("fft/{n}"), || fft(black_box(&x)));
+        h.bench(&format!("fft/{n}"), || rfft(black_box(&x)));
+        h.bench(&format!("rfft_half/{n}"), || rfft_half(black_box(&x)));
     }
 }
 
@@ -91,6 +97,45 @@ fn bench_decomposition(h: &mut Harness) {
     });
 }
 
+/// Thread-scaling sweep (gated by `TS3_BENCH_THREAD_SWEEP`, a comma
+/// list of thread caps, e.g. `1,2,4`): re-runs representative
+/// parallel kernels under each cap via the runtime override
+/// `set_max_threads`, producing `sweep/<kernel>/t<n>` rows. The rows
+/// land in the same `ts3.bench.v1` mirror, so `bench_compare` gates
+/// the scaling curve like any other kernel — a cap that stops helping
+/// (or a kernel whose parallel path regressed at some width) shows up
+/// as a row regression against the committed baseline. Outputs are
+/// bitwise identical across caps (workspace determinism contract), so
+/// the sweep measures pure scheduling cost.
+fn bench_thread_sweep(h: &mut Harness) {
+    let spec = std::env::var("TS3_BENCH_THREAD_SWEEP").unwrap_or_default();
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    if counts.is_empty() {
+        return;
+    }
+    let restore = ts3_tensor::par::max_threads();
+    let a = Tensor::randn(&[128, 128], 7);
+    let b = Tensor::randn(&[128, 128], 8);
+    let x = Tensor::randn(&[8, 8, 8, 96], 9);
+    let w = Tensor::randn(&[8, 8, 3, 3], 10);
+    for &n in &counts {
+        ts3_tensor::par::set_max_threads(n);
+        h.bench(&format!("sweep/matmul_128/t{n}"), || a.matmul(black_box(&b)));
+        if !smoke() {
+            h.bench(&format!("sweep/conv2d_3/t{n}"), || {
+                conv2d(black_box(&x), black_box(&w), 1, 1)
+            });
+        }
+    }
+    // Restore the ambient cap: the JSON mirror records `threads` at
+    // write time and later benches must run at the configured width.
+    ts3_tensor::par::set_max_threads(restore);
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_fft(&mut h);
@@ -98,6 +143,7 @@ fn main() {
     bench_matmul(&mut h);
     bench_conv2d(&mut h);
     bench_decomposition(&mut h);
+    bench_thread_sweep(&mut h);
     // Machine-readable mirror (op, shape, median ns + IQR, thread cap)
     // for regression tracking across commits via `bench_compare`.
     let path = match std::env::var_os("TS3_BENCH_OUT") {

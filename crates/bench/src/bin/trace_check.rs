@@ -17,10 +17,15 @@
 //! Usage:
 //!
 //! ```text
-//! trace_check <path> [--require-epoch] [--require-kernel-span]
+//! trace_check <path> [--require-epoch] [--require-kernel-span] [--require-counter NAME]...
 //! trace_check --timeline <path>
 //! trace_check --flight <path>
 //! ```
+//!
+//! `--require-counter NAME` (repeatable) fails unless the manifest's
+//! `metrics.counters` holds a non-zero `NAME` — used by `verify.sh` to
+//! assert the AVX2 dispatch counters actually ticked on hosts that
+//! advertise the feature.
 
 use ts3_json::Json;
 
@@ -167,6 +172,16 @@ fn main() {
     });
     let require_epoch = args.iter().any(|a| a == "--require-epoch");
     let require_kernel = args.iter().any(|a| a == "--require-kernel-span");
+    let required_counters: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--require-counter")
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| fail("--require-counter needs a counter name"))
+        })
+        .collect();
 
     let doc = load(path);
     check_schema(&doc, path, ts3_bench::TRACE_SCHEMA);
@@ -199,6 +214,16 @@ fn main() {
         }
         if flops <= 0.0 {
             fail(&format!("{path}: tensor.matmul.flops counter missing or zero"));
+        }
+    }
+    for name in &required_counters {
+        let value = metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if value <= 0.0 {
+            fail(&format!("{path}: required counter {name} missing or zero"));
         }
     }
     // Split drop counters landed with obs v2; older manifests only have

@@ -54,6 +54,7 @@ pub fn write_trace_manifest(
     let (spans, events, dropped) = ts3_obs::snapshot_records();
     let (dropped_spans, dropped_events) = ts3_obs::dropped_counts();
     let threads_env = std::env::var("TS3_THREADS").ok();
+    let simd_env = std::env::var("TS3_SIMD").ok();
     let doc = Json::obj([
         ("schema", Json::from(TRACE_SCHEMA)),
         ("stem", Json::from(stem)),
@@ -74,6 +75,13 @@ pub fn write_trace_manifest(
                     "ts3_threads_env",
                     threads_env.map_or(Json::Null, Json::Str),
                 ),
+            ]),
+        ),
+        (
+            "simd",
+            Json::obj([
+                ("kernel", Json::from(ts3_tensor::simd::kernel_name())),
+                ("ts3_simd_env", simd_env.map_or(Json::Null, Json::Str)),
             ]),
         ),
         ("phases", phases_json(&spans)),
@@ -167,6 +175,15 @@ mod tests {
                 .unwrap()
                 >= 2
         );
+        // The SIMD dispatch section names the selected kernel family.
+        let kernel = doc
+            .get("simd")
+            .unwrap()
+            .get("kernel")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert!(kernel == "avx2" || kernel == "scalar", "kernel = {kernel}");
         // Split drop counters are surfaced (zero in a short run) and the
         // folded-stacks sidecar exists with our root span in it.
         assert_eq!(doc.get("dropped_spans").unwrap().as_usize(), Some(0));

@@ -3,7 +3,11 @@
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
 
 /// Complex number with `f32` components.
+///
+/// `repr(C)` pins the `(re, im)` pair layout so the SIMD kernels in
+/// `fft_simd` may view `&[Complex32]` as interleaved `f32` lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex32 {
     pub re: f32,
     pub im: f32,

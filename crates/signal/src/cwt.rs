@@ -2,30 +2,44 @@
 //! back-propagation through the fixed wavelet filter bank), and a linear
 //! inverse transform `IWT` (Eq. 9).
 //!
-//! All transforms are computed through one shared FFT plan: the input is
-//! transformed once, every scale is a pointwise product with a precomputed
-//! filter spectrum plus one inverse FFT. Complexity `O(lambda * T log T)`
-//! per channel.
+//! All transforms are FFT convolutions, planned **per scale**: each
+//! scale `i` uses the smallest power-of-two length `m_i >= T + N_i`
+//! that keeps its *consumed* output window alias-free, not the largest
+//! scale's full linear-convolution length. Every consumer reads only
+//! the "same"-aligned window `[N_i, N_i + T)` of the convolution, and
+//! cyclic wraparound at length `m >= T + N` folds `linear[j + m]` only
+//! onto `j < N` — outside the window — so the shorter transform is
+//! exact where it is read (taps longer than `m` fold mod `m` at plan
+//! build, which the same argument covers). The taps shrink rapidly
+//! with `i` (`N_i = O(lambda / i)`), so most of the bank runs at a
+//! half or a quarter of the worst-case FFT length — the bulk of the
+//! former `O(lambda * T_max log T_max)` cost. The signal
+//! spectrum is computed once per distinct length (scales are ordered,
+//! so each length is a contiguous run) through the packed real-input
+//! transform ([`crate::fft::RealPlan`] — half-size complex FFT plus
+//! conjugate mirror), and every scale is then a pointwise product plus
+//! one inverse FFT at its own length.
 //!
-//! The plan holds the cached [`crate::fft::Plan`] for its FFT length and
-//! runs every scale through two reusable per-thread scratch buffers, so
-//! a warm `forward_complex`/`adjoint` call performs no per-scale
-//! allocation and no per-call twiddle recomputation.
+//! The plan holds the cached FFT plans for each length and runs every
+//! scale through reusable per-thread scratch buffers, so a warm
+//! `forward_complex`/`adjoint` call performs no per-scale allocation
+//! and no per-call twiddle recomputation.
 
 use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::complex::Complex32;
-use crate::fft::{next_pow2, plan_for, Plan};
+use crate::fft::{next_pow2, plan_for, real_plan_for, Plan, RealPlan};
 use crate::wavelet::{sample_wavelet, scale_set, WaveletKind};
 use ts3_tensor::Tensor;
 
 thread_local! {
-    /// Per-thread `(signal spectrum, per-scale product)` scratch shared
-    /// by all CWT plans on this thread; every element is overwritten
-    /// before use, so reuse across plans/calls cannot leak state.
-    static CWT_SCRATCH: RefCell<(Vec<Complex32>, Vec<Complex32>)> =
-        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread `(signal spectrum, per-scale product, real padding)`
+    /// scratch shared by all CWT plans on this thread; every element is
+    /// overwritten before use, so reuse across plans/calls cannot leak
+    /// state.
+    static CWT_SCRATCH: RefCell<(Vec<Complex32>, Vec<Complex32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
 /// Precomputed CWT plan for a fixed `(series length, lambda, wavelet)`.
@@ -40,19 +54,24 @@ pub struct CwtPlan {
     pub scales: Vec<f32>,
     /// Half filter length `N_i` per scale.
     half: Vec<usize>,
-    /// FFT length (power of two covering `T + 2 N_max`).
-    fft_len: usize,
+    /// Per-scale FFT length (power of two covering `T + 2 N_i`).
+    /// Non-increasing in `i` — the taps shrink with the scale — so
+    /// equal lengths form contiguous runs.
+    fft_lens: Vec<usize>,
     /// Per scale: FFT of the *reversed* conjugated taps (for forward
-    /// correlation).
+    /// correlation), at that scale's FFT length.
     filt_fwd: Vec<Vec<Complex32>>,
     /// Per scale: FFT of the conjugated taps as-is (for the adjoint).
     filt_adj: Vec<Vec<Complex32>>,
     /// Reconstruction weights for the inverse transform, including the
     /// empirically calibrated admissibility constant.
     recon: Vec<f32>,
-    /// Cached FFT plan for `fft_len` (shared with every other user of
-    /// that size through [`plan_for`]).
-    fft: Arc<Plan>,
+    /// Per-scale cached complex FFT plans (shared with every other user
+    /// of each size through [`plan_for`]).
+    plans: Vec<Arc<Plan>>,
+    /// Per-scale cached real-input plans for the forward signal
+    /// spectrum.
+    rplans: Vec<Arc<RealPlan>>,
 }
 
 impl CwtPlan {
@@ -63,33 +82,41 @@ impl CwtPlan {
         let scales = scale_set(lambda);
         let mut half = Vec::with_capacity(lambda);
         let mut taps_all = Vec::with_capacity(lambda);
-        let mut n_max = 0usize;
         for &s in &scales {
             let (taps, n) = sample_wavelet(kind, s);
-            n_max = n_max.max(n);
             half.push(n);
             taps_all.push(taps);
         }
-        let fft_len = next_pow2(t_len + 2 * n_max + 1);
-        let fft = plan_for(fft_len);
+        // Per-scale FFT lengths: the smallest power of two with the
+        // consumed window `[N, N + T)` alias-free under cyclic
+        // convolution (see the module docs) — each scale pays for its
+        // own support, and only the half of it the outputs depend on.
+        let fft_lens: Vec<usize> = half.iter().map(|&n| next_pow2(t_len + n)).collect();
+        let plans: Vec<Arc<Plan>> = fft_lens.iter().map(|&m| plan_for(m)).collect();
+        let rplans: Vec<Arc<RealPlan>> = fft_lens.iter().map(|&m| real_plan_for(m)).collect();
         let mut filt_fwd = Vec::with_capacity(lambda);
         let mut filt_adj = Vec::with_capacity(lambda);
-        for taps in &taps_all {
+        for (i, taps) in taps_all.iter().enumerate() {
+            let m = fft_lens[i];
+            let fft = &plans[i];
             // Forward: correlation with c = conj(psi) (Eq. 5 uses the
             // conjugate), implemented as linear convolution with the
             // reversed taps.
             let c: Vec<Complex32> = taps.iter().map(|z| z.conj()).collect();
-            let mut rev = vec![Complex32::ZERO; fft_len];
+            // Taps may exceed the scale's FFT length for the widest
+            // scales (2N+1 > m); folding them mod m is exactly the
+            // cyclic-convolution identity the length bound relies on.
+            let mut rev = vec![Complex32::ZERO; m];
             for (j, &v) in c.iter().rev().enumerate() {
-                rev[j] = v;
+                rev[j % m] += v;
             }
             fft.fft_inplace(&mut rev, false);
             filt_fwd.push(rev);
             // Adjoint: out[k] = Re( linconv(g_re + i g_im, conj(c))[k+N] ),
             // and conj(c) is the original (unconjugated) wavelet taps.
-            let mut fwd = vec![Complex32::ZERO; fft_len];
+            let mut fwd = vec![Complex32::ZERO; m];
             for (j, &v) in taps.iter().enumerate() {
-                fwd[j] = v;
+                fwd[j % m] += v;
             }
             fft.fft_inplace(&mut fwd, false);
             filt_adj.push(fwd);
@@ -113,11 +140,12 @@ impl CwtPlan {
             kind,
             scales,
             half,
-            fft_len,
+            fft_lens,
             filt_fwd,
             filt_adj,
             recon: recon.clone(),
-            fft,
+            plans,
+            rplans,
         };
         let c = plan.calibrate_reconstruction();
         for w in recon.iter_mut() {
@@ -171,8 +199,9 @@ impl CwtPlan {
 
     /// Run one filter bank over a real signal, handing each scale's
     /// "same"-aligned output row to `sink(scale, row)`. The signal
-    /// spectrum is computed once and every scale reuses one per-thread
-    /// product buffer — a warm call allocates nothing.
+    /// spectrum is computed once per distinct FFT length (through the
+    /// packed real-input transform plus conjugate mirror) and every
+    /// scale reuses per-thread buffers — a warm call allocates nothing.
     fn apply_bank_into(
         &self,
         x: &[f32],
@@ -182,21 +211,28 @@ impl CwtPlan {
         assert_eq!(x.len(), self.t_len, "apply_bank: signal length mismatch");
         CWT_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            let (spec, prod) = &mut *scratch;
-            spec.clear();
-            spec.resize(self.fft_len, Complex32::ZERO);
-            for (dst, &v) in spec.iter_mut().zip(x) {
-                *dst = Complex32::from_real(v);
-            }
-            self.fft.fft_inplace(spec, false);
-            prod.resize(self.fft_len, Complex32::ZERO);
+            let (spec, prod, pad) = &mut *scratch;
+            let mut cur_len = 0usize;
             for (i, filt) in bank.iter().enumerate() {
-                // Every element of `prod` is overwritten before the
+                let m = self.fft_lens[i];
+                if m != cur_len {
+                    // New length run: real-input transform of the
+                    // zero-padded signal, mirrored to the full spectrum
+                    // (the filters are complex, so products need all
+                    // `m` bins).
+                    pad.clear();
+                    pad.resize(m, 0.0);
+                    pad[..self.t_len].copy_from_slice(x);
+                    self.rplans[i].forward_full_into(pad, spec);
+                    cur_len = m;
+                }
+                // Every element of `prod[..m]` is overwritten before the
                 // transform, so the buffer reuse cannot leak state.
+                prod.resize(m, Complex32::ZERO);
                 for ((dst, &a), &b) in prod.iter_mut().zip(spec.iter()).zip(filt) {
                     *dst = a * b;
                 }
-                self.fft.fft_inplace(prod, true);
+                self.plans[i].fft_inplace(prod, true);
                 // The taps occupy 2N+1 slots; "same" alignment starts at N.
                 let n = self.half[i];
                 // For the reversed filter the peak is at index 2N - N = N as
@@ -245,25 +281,28 @@ impl CwtPlan {
         let mut out = vec![0.0f32; self.t_len];
         CWT_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            let (spec, _) = &mut *scratch;
+            let (spec, _, _) = &mut *scratch;
             for i in 0..self.lambda {
                 // Forward was y_re = corr(x, Re c), y_im = corr(x, Im c) with
                 // c = conj(psi), so the adjoint is
                 //   out[k] = sum_b g_re[b] Re(c[k-b+N]) + g_im[b] Im(c[k-b+N])
                 //          = Re( linconv(g_re + i g_im, conj(c))[k + N] )
                 // and conj(c) = psi, whose causal-tap FFT is `filt_adj`.
+                // The cotangent rows are genuinely complex, so this path
+                // stays on the complex transform — at each scale's own
+                // FFT length.
                 let row_re = &g_re[i * self.t_len..(i + 1) * self.t_len];
                 let row_im = &g_im[i * self.t_len..(i + 1) * self.t_len];
                 spec.clear();
-                spec.resize(self.fft_len, Complex32::ZERO);
+                spec.resize(self.fft_lens[i], Complex32::ZERO);
                 for (dst, (&a, &b)) in spec.iter_mut().zip(row_re.iter().zip(row_im)) {
                     *dst = Complex32::new(a, b);
                 }
-                self.fft.fft_inplace(spec, false);
+                self.plans[i].fft_inplace(spec, false);
                 for (a, &b) in spec.iter_mut().zip(&self.filt_adj[i]) {
                     *a *= b;
                 }
-                self.fft.fft_inplace(spec, true);
+                self.plans[i].fft_inplace(spec, true);
                 let n = self.half[i];
                 for (k, dst) in out.iter_mut().enumerate() {
                     *dst += spec[k + n].re;
@@ -276,8 +315,16 @@ impl CwtPlan {
     /// Amplitude TF distribution `Amp(WT(x))` (Eq. 7): `lambda * T` values,
     /// row-major `[lambda, T]`.
     pub fn amplitude(&self, x: &[f32]) -> Vec<f32> {
-        let (re, im) = self.forward_complex(x);
-        re.iter().zip(&im).map(|(&a, &b)| a.hypot(b)).collect()
+        let _s = self.cwt_obs("signal.cwt.forward", "signal.cwt.forward.calls");
+        let mut amp = Vec::with_capacity(self.lambda * self.t_len);
+        // Streams straight off the convolution rows instead of routing
+        // through `forward_complex`'s split re/im buffers; the fused
+        // `sqrt(re^2 + im^2)` matches the magnitude the model path
+        // (`cwt_amp`) computes and vectorizes where `hypot` cannot.
+        self.apply_bank_into(x, &self.filt_fwd, |_, row| {
+            amp.extend(row.iter().map(|z| z.im.mul_add(z.im, z.re * z.re).sqrt()));
+        });
+        amp
     }
 
     /// Linear inverse transform of a real `[lambda, T]` coefficient grid

@@ -1,0 +1,444 @@
+//! AVX2+FMA transcriptions of the planar FFT butterfly kernels in
+//! [`crate::fft`], behind the process-wide dispatch policy of
+//! [`ts3_tensor::simd`].
+//!
+//! Each kernel maps the scalar reference's operations 1:1 onto packed
+//! lanes: the canonical twiddle rotation `cmul_fma` —
+//! `re = fma(qi, -wi, qr*wr)`, `im = fma(qi, wr, qr*wi)` — becomes one
+//! `_mm256_fnmadd_ps` and one `_mm256_fmadd_ps` per component, both
+//! single-rounding fused ops, so SIMD and scalar butterflies are
+//! **bitwise identical** (sweep-asserted in `signal/tests/simd_fft.rs`).
+//! Dispatch is therefore an observability fact, never a numeric one.
+
+use crate::complex::Complex32;
+use crate::fft::cmul_fma;
+
+/// Run one contiguous butterfly span through the AVX2 path if selected;
+/// returns `false` when the caller should run the scalar reference
+/// (non-x86_64 target, missing CPU features, or `TS3_SIMD=0`).
+#[inline]
+pub(crate) fn stage_pass_dispatch(
+    ur: &mut [f32],
+    ui: &mut [f32],
+    vr: &mut [f32],
+    vi: &mut [f32],
+    swr: &[f32],
+    swi: &[f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if ts3_tensor::simd::avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { stage_pass_avx2(ur, ui, vr, vi, swr, swi) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (ur, ui, vr, vi, swr, swi);
+    }
+    false
+}
+
+/// Run one broadcast-twiddle 16-lane row butterfly through the AVX2
+/// path if selected; returns `false` for the scalar fallback.
+#[inline]
+pub(crate) fn row_butterfly_dispatch(
+    ur: &mut [f32; 16],
+    ui: &mut [f32; 16],
+    vr: &mut [f32; 16],
+    vi: &mut [f32; 16],
+    wr: f32,
+    wi: f32,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if ts3_tensor::simd::avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { row_butterfly_avx2(ur, ui, vr, vi, wr, wi) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (ur, ui, vr, vi, wr, wi);
+    }
+    false
+}
+
+/// Run the real-FFT "unsplit" recombination (`RealPlan` forward
+/// post-pass: `out[k] = E[k] + W^k·O[k]` for `k in 1..h`, `h =
+/// z.len()`) through the AVX2 path if selected; returns `false` for
+/// the scalar fallback in `fft.rs`. `out` must hold at least `h`
+/// elements (bins `1..h` are written; the caller fills `0` and `h`).
+#[inline]
+pub(crate) fn unsplit_dispatch(
+    z: &[Complex32],
+    twr: &[f32],
+    twi: &[f32],
+    out: &mut [Complex32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if ts3_tensor::simd::avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { unsplit_avx2(z, twr, twi, out) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (z, twr, twi, out);
+    }
+    false
+}
+
+/// Planar-input variant of [`unsplit_dispatch`]: the half spectrum
+/// arrives as the butterfly stages' planar `(re, im)` scratch
+/// (`h = re.len()`), skipping the interleave/deinterleave round trip
+/// the packed form pays. Same per-bin operations, same `false` scalar
+/// fallback contract.
+#[inline]
+pub(crate) fn unsplit_planar_dispatch(
+    re: &[f32],
+    im: &[f32],
+    twr: &[f32],
+    twi: &[f32],
+    out: &mut [Complex32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if ts3_tensor::simd::avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { unsplit_planar_avx2(re, im, twr, twi, out) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (re, im, twr, twi, out);
+    }
+    false
+}
+
+/// Write the conjugate mirror `out[n-k] = conj(out[k])` for
+/// `k in 1..h` (`n = out.len()`, `h = n/2`) through the AVX2 path if
+/// selected; returns `false` for the scalar fallback.
+#[inline]
+pub(crate) fn mirror_dispatch(out: &mut [Complex32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if ts3_tensor::simd::avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { mirror_avx2(out) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = out;
+    }
+    false
+}
+
+/// AVX2+FMA transcription of `stage_pass`: combine the low half
+/// `(ur, ui)` with the twiddled high half `(vr, vi)` eight lanes at a
+/// time, scalar `cmul_fma` on the tail. Identical per-element operation
+/// sequence to the scalar kernel (lane grouping never mixes elements).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe` only because of `target_feature` — callers must
+// have verified AVX2+FMA via `ts3_tensor::simd::avx2_active()`. All
+// memory access is through bounds-checked slices and unaligned
+// loadu/storeu on `&mut [f32]` we exclusively own.
+unsafe fn stage_pass_avx2(
+    ur: &mut [f32],
+    ui: &mut [f32],
+    vr: &mut [f32],
+    vi: &mut [f32],
+    swr: &[f32],
+    swi: &[f32],
+) {
+    use core::arch::x86_64::*;
+    let half = ur.len();
+    assert!(
+        half == ui.len()
+            && half == vr.len()
+            && half == vi.len()
+            && half == swr.len()
+            && half == swi.len(),
+        "stage_pass_avx2: span length mismatch"
+    );
+    let mut j = 0;
+    // SAFETY: all six slices have length `half` (asserted above) and
+    // every unaligned load/store below covers `j .. j + 8` with
+    // `j + 8 <= half`, so no access leaves its slice.
+    unsafe {
+        while j + 8 <= half {
+            let vrv = _mm256_loadu_ps(vr.as_ptr().add(j));
+            let viv = _mm256_loadu_ps(vi.as_ptr().add(j));
+            let wrv = _mm256_loadu_ps(swr.as_ptr().add(j));
+            let wiv = _mm256_loadu_ps(swi.as_ptr().add(j));
+            // cmul_fma: tr = fma(vi, -wi, vr*wr), ti = fma(vi, wr, vr*wi).
+            let tr = _mm256_fnmadd_ps(viv, wiv, _mm256_mul_ps(vrv, wrv));
+            let ti = _mm256_fmadd_ps(viv, wrv, _mm256_mul_ps(vrv, wiv));
+            let urv = _mm256_loadu_ps(ur.as_ptr().add(j));
+            let uiv = _mm256_loadu_ps(ui.as_ptr().add(j));
+            _mm256_storeu_ps(ur.as_mut_ptr().add(j), _mm256_add_ps(urv, tr));
+            _mm256_storeu_ps(ui.as_mut_ptr().add(j), _mm256_add_ps(uiv, ti));
+            _mm256_storeu_ps(vr.as_mut_ptr().add(j), _mm256_sub_ps(urv, tr));
+            _mm256_storeu_ps(vi.as_mut_ptr().add(j), _mm256_sub_ps(uiv, ti));
+            j += 8;
+        }
+    }
+    while j < half {
+        let (tr, ti) = cmul_fma(vr[j], vi[j], swr[j], swi[j]);
+        let pr = ur[j];
+        let pi = ui[j];
+        ur[j] = pr + tr;
+        ui[j] = pi + ti;
+        vr[j] = pr - tr;
+        vi[j] = pi - ti;
+        j += 1;
+    }
+}
+
+/// AVX2+FMA transcription of `row_butterfly`'s lane loop: sixteen
+/// independent butterflies against one broadcast twiddle, as two packs
+/// of eight lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe` only because of `target_feature` — callers must
+// have verified AVX2+FMA via `ts3_tensor::simd::avx2_active()`. The
+// fixed `[f32; 16]` arrays make every 8-lane offset (0 and 8) in
+// bounds by construction.
+unsafe fn row_butterfly_avx2(
+    ur: &mut [f32; 16],
+    ui: &mut [f32; 16],
+    vr: &mut [f32; 16],
+    vi: &mut [f32; 16],
+    wr: f32,
+    wi: f32,
+) {
+    use core::arch::x86_64::*;
+    // SAFETY: all arrays are exactly 16 floats, so offsets 0 and 8 with
+    // 8-lane unaligned loads/stores stay in-bounds.
+    unsafe {
+        let wrv = _mm256_set1_ps(wr);
+        let wiv = _mm256_set1_ps(wi);
+        for off in [0usize, 8] {
+            let vrv = _mm256_loadu_ps(vr.as_ptr().add(off));
+            let viv = _mm256_loadu_ps(vi.as_ptr().add(off));
+            let tr = _mm256_fnmadd_ps(viv, wiv, _mm256_mul_ps(vrv, wrv));
+            let ti = _mm256_fmadd_ps(viv, wrv, _mm256_mul_ps(vrv, wiv));
+            let urv = _mm256_loadu_ps(ur.as_ptr().add(off));
+            let uiv = _mm256_loadu_ps(ui.as_ptr().add(off));
+            _mm256_storeu_ps(ur.as_mut_ptr().add(off), _mm256_add_ps(urv, tr));
+            _mm256_storeu_ps(ui.as_mut_ptr().add(off), _mm256_add_ps(uiv, ti));
+            _mm256_storeu_ps(vr.as_mut_ptr().add(off), _mm256_sub_ps(urv, tr));
+            _mm256_storeu_ps(vi.as_mut_ptr().add(off), _mm256_sub_ps(uiv, ti));
+        }
+    }
+}
+
+/// Split two consecutive 4-complex loads (`p .. p + 16` floats of
+/// interleaved `(re, im)` pairs) into planar `(re, im)` 8-lane vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe` for `target_feature` and the raw loads — callers
+// guarantee AVX2 and that `p .. p + 16` floats are in bounds.
+#[inline]
+unsafe fn deinterleave8(
+    p: *const f32,
+) -> (core::arch::x86_64::__m256, core::arch::x86_64::__m256) {
+    use core::arch::x86_64::*;
+    // SAFETY: caller contract — 16 in-bounds floats at `p`.
+    unsafe {
+        let v0 = _mm256_loadu_ps(p); //        r0 i0 r1 i1 | r2 i2 r3 i3
+        let v1 = _mm256_loadu_ps(p.add(8)); // r4 i4 r5 i5 | r6 i6 r7 i7
+        let t0 = _mm256_shuffle_ps(v0, v1, 0b10_00_10_00); // r0 r1 r4 r5 | r2 r3 r6 r7
+        let t1 = _mm256_shuffle_ps(v0, v1, 0b11_01_11_01); // i0 i1 i4 i5 | i2 i3 i6 i7
+        // Reorder the 64-bit pairs [0,2,1,3] to ascending lane order.
+        let re = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(t0), 0b11_01_10_00));
+        let im = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(t1), 0b11_01_10_00));
+        (re, im)
+    }
+}
+
+/// AVX2+FMA transcription of the `RealPlan` forward unsplit loop: for
+/// each `k`, combine `Z[k]` with `conj(Z[h-k])` into even/odd spectra
+/// and rotate the odd part by `W^k` — eight bins per iteration, with
+/// the reversed `Z[h-k]` run loaded contiguously and lane-reversed.
+/// The scalar tail (and any `h < 16`) replays the exact reference loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe` only because of `target_feature` — callers must
+// have verified AVX2+FMA via `ts3_tensor::simd::avx2_active()`. Raw
+// loads/stores are covered by the length asserts below; `Complex32` is
+// `repr(C)`, so `&[Complex32]` is valid interleaved-f32 lane storage.
+unsafe fn unsplit_avx2(z: &[Complex32], twr: &[f32], twi: &[f32], out: &mut [Complex32]) {
+    use core::arch::x86_64::*;
+    let h = z.len();
+    assert!(
+        twr.len() >= h && twi.len() >= h && out.len() >= h,
+        "unsplit_avx2: buffer length mismatch"
+    );
+    let mut k = 1;
+    // SAFETY: for each 8-bin step, `a` covers z[k .. k+8] and the
+    // reversed run covers z[h-k-7 ..= h-k]; with `k >= 1` and
+    // `k + 8 <= h` both stay inside `z`, twiddle loads stay inside
+    // `twr`/`twi` (len >= h), and stores cover out[k .. k+8] with
+    // `k + 7 <= h - 1 < out.len()`.
+    unsafe {
+        let half = _mm256_set1_ps(0.5);
+        let rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+        while k + 8 <= h {
+            let (ar, ai) = deinterleave8(z.as_ptr().add(k).cast::<f32>());
+            let (zr_f, zi_f) = deinterleave8(z.as_ptr().add(h - k - 7).cast::<f32>());
+            // Lane j holds z[h-k-j] after the reversal, pairing with
+            // a's lane j = z[k+j] exactly as the scalar loop does.
+            let zr = _mm256_permutevar8x32_ps(zr_f, rev);
+            let zi = _mm256_permutevar8x32_ps(zi_f, rev);
+            // b = conj(Z[h-k]): b.re = zr, b.im = -zi. Adding/subbing
+            // the negation is IEEE-identical to direct sub/add.
+            let er = _mm256_mul_ps(_mm256_add_ps(ar, zr), half);
+            let ei = _mm256_mul_ps(_mm256_sub_ps(ai, zi), half);
+            let or_ = _mm256_mul_ps(_mm256_add_ps(ai, zi), half);
+            let oi = _mm256_mul_ps(_mm256_sub_ps(zr, ar), half);
+            let wrv = _mm256_loadu_ps(twr.as_ptr().add(k));
+            let wiv = _mm256_loadu_ps(twi.as_ptr().add(k));
+            // cmul_fma(or_, oi, wr, wi) lane-for-lane.
+            let tr = _mm256_fnmadd_ps(oi, wiv, _mm256_mul_ps(or_, wrv));
+            let ti = _mm256_fmadd_ps(oi, wrv, _mm256_mul_ps(or_, wiv));
+            let re = _mm256_add_ps(er, tr);
+            let im = _mm256_add_ps(ei, ti);
+            // Interleave back to (re, im) pairs and store out[k..k+8].
+            let lo = _mm256_unpacklo_ps(re, im); // r0 i0 r1 i1 | r4 i4 r5 i5
+            let hi = _mm256_unpackhi_ps(re, im); // r2 i2 r3 i3 | r6 i6 r7 i7
+            let q = out.as_mut_ptr().add(k).cast::<f32>();
+            _mm256_storeu_ps(q, _mm256_permute2f128_ps(lo, hi, 0x20));
+            _mm256_storeu_ps(q.add(8), _mm256_permute2f128_ps(lo, hi, 0x31));
+            k += 8;
+        }
+    }
+    while k < h {
+        let a = z[k];
+        let b = z[h - k].conj();
+        let er = (a.re + b.re) * 0.5;
+        let ei = (a.im + b.im) * 0.5;
+        let or_ = (a.im - b.im) * 0.5;
+        let oi = (b.re - a.re) * 0.5;
+        let (tr, ti) = cmul_fma(or_, oi, twr[k], twi[k]);
+        out[k] = Complex32::new(er + tr, ei + ti);
+        k += 1;
+    }
+}
+
+/// AVX2+FMA planar unsplit: identical per-bin operation sequence to
+/// [`unsplit_avx2`], but `Z[k]` comes from planar `(re, im)` arrays —
+/// plain 8-lane loads replace the interleaved shuffle cascade on both
+/// the forward and the reversed run. The scalar tail replays the exact
+/// reference loop over the planar buffers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe` only because of `target_feature` — callers must
+// have verified AVX2+FMA via `ts3_tensor::simd::avx2_active()`. Raw
+// loads/stores are covered by the length asserts below; `Complex32` is
+// `repr(C)`, so `&mut [Complex32]` is valid interleaved-f32 storage.
+unsafe fn unsplit_planar_avx2(
+    re: &[f32],
+    im: &[f32],
+    twr: &[f32],
+    twi: &[f32],
+    out: &mut [Complex32],
+) {
+    use core::arch::x86_64::*;
+    let h = re.len();
+    assert!(
+        im.len() == h && twr.len() >= h && twi.len() >= h && out.len() >= h,
+        "unsplit_planar_avx2: buffer length mismatch"
+    );
+    let mut k = 1;
+    // SAFETY: for each 8-bin step, the forward loads cover re/im[k ..
+    // k+8] and the reversed loads cover re/im[h-k-7 ..= h-k]; with
+    // `k >= 1` and `k + 8 <= h` both stay inside the length-`h`
+    // buffers, twiddle loads stay inside `twr`/`twi` (len >= h), and
+    // stores cover out[k .. k+8] with `k + 7 <= h - 1 < out.len()`.
+    unsafe {
+        let half = _mm256_set1_ps(0.5);
+        let rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+        while k + 8 <= h {
+            let ar = _mm256_loadu_ps(re.as_ptr().add(k));
+            let ai = _mm256_loadu_ps(im.as_ptr().add(k));
+            // Lane j holds Z[h-k-j] after the reversal, pairing with
+            // a's lane j = Z[k+j] exactly as the scalar loop does.
+            let zr = _mm256_permutevar8x32_ps(_mm256_loadu_ps(re.as_ptr().add(h - k - 7)), rev);
+            let zi = _mm256_permutevar8x32_ps(_mm256_loadu_ps(im.as_ptr().add(h - k - 7)), rev);
+            // b = conj(Z[h-k]): b.re = zr, b.im = -zi. Adding/subbing
+            // the negation is IEEE-identical to direct sub/add.
+            let er = _mm256_mul_ps(_mm256_add_ps(ar, zr), half);
+            let ei = _mm256_mul_ps(_mm256_sub_ps(ai, zi), half);
+            let or_ = _mm256_mul_ps(_mm256_add_ps(ai, zi), half);
+            let oi = _mm256_mul_ps(_mm256_sub_ps(zr, ar), half);
+            let wrv = _mm256_loadu_ps(twr.as_ptr().add(k));
+            let wiv = _mm256_loadu_ps(twi.as_ptr().add(k));
+            // cmul_fma(or_, oi, wr, wi) lane-for-lane.
+            let tr = _mm256_fnmadd_ps(oi, wiv, _mm256_mul_ps(or_, wrv));
+            let ti = _mm256_fmadd_ps(oi, wrv, _mm256_mul_ps(or_, wiv));
+            let xr = _mm256_add_ps(er, tr);
+            let xi = _mm256_add_ps(ei, ti);
+            // Interleave back to (re, im) pairs and store out[k..k+8].
+            let lo = _mm256_unpacklo_ps(xr, xi);
+            let hi = _mm256_unpackhi_ps(xr, xi);
+            let q = out.as_mut_ptr().add(k).cast::<f32>();
+            _mm256_storeu_ps(q, _mm256_permute2f128_ps(lo, hi, 0x20));
+            _mm256_storeu_ps(q.add(8), _mm256_permute2f128_ps(lo, hi, 0x31));
+            k += 8;
+        }
+    }
+    while k < h {
+        let (ar, ai) = (re[k], im[k]);
+        let (br, bi) = (re[h - k], -im[h - k]);
+        let er = (ar + br) * 0.5;
+        let ei = (ai + bi) * 0.5;
+        let or_ = (ai - bi) * 0.5;
+        let oi = (br - ar) * 0.5;
+        let (tr, ti) = cmul_fma(or_, oi, twr[k], twi[k]);
+        out[k] = Complex32::new(er + tr, ei + ti);
+        k += 1;
+    }
+}
+
+/// AVX2 conjugate mirror `out[n-k] = conj(out[k])`: four complexes per
+/// step — one sign-flip of the `im` lanes plus a pair-wise lane
+/// reversal. Pure data movement and sign negation, so bitwise equality
+/// with the scalar loop is structural.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe` only because of `target_feature` — callers must
+// have verified AVX2 via `ts3_tensor::simd::avx2_active()`. Raw
+// loads/stores are in bounds per the loop-condition argument below;
+// `Complex32` is `repr(C)` interleaved-f32 storage.
+unsafe fn mirror_avx2(out: &mut [Complex32]) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    let h = n / 2;
+    let mut k = 1;
+    // SAFETY: while `k + 4 <= h`, the load covers out[k .. k+4] (max
+    // index h-1) and the store covers out[n-k-3 ..= n-k] (min index
+    // n-h-1+... = h+1 at k = h-4... >= h+1 for all k in range; max
+    // index n-1). Load and store regions never overlap (k+3 < h < n-k-3
+    // + 1 for k <= h-4), and both stay inside `out`.
+    unsafe {
+        // Flipping the sign bit of the `im` lanes == scalar `conj`.
+        let conj_mask = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+        // Reverse the four complex pairs: [c0 c1 | c2 c3] -> [c3 c2 | c1 c0].
+        let rev_pairs = _mm256_setr_epi32(6, 7, 4, 5, 2, 3, 0, 1);
+        while k + 4 <= h {
+            let v = _mm256_loadu_ps(out.as_ptr().add(k).cast::<f32>());
+            let c = _mm256_xor_ps(v, conj_mask);
+            let r = _mm256_permutevar8x32_ps(c, rev_pairs);
+            _mm256_storeu_ps(out.as_mut_ptr().add(n - k - 3).cast::<f32>(), r);
+            k += 4;
+        }
+    }
+    while k < h {
+        out[n - k] = out[k].conj();
+        k += 1;
+    }
+}

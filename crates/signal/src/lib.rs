@@ -28,6 +28,7 @@ pub mod complex;
 pub mod cwt;
 pub mod decompose;
 pub mod fft;
+mod fft_simd;
 pub mod spectrum;
 pub mod wavelet;
 

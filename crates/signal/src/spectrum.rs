@@ -2,7 +2,7 @@
 //! frequencies by amplitude and their implied period lengths
 //! `p_i = ceil(T / f_i)`.
 
-use crate::fft::rfft;
+use crate::fft::rfft_half;
 use ts3_tensor::Tensor;
 
 /// One detected periodic component.
@@ -32,7 +32,9 @@ pub fn topk_periods(x: &[f32], k: usize) -> Vec<PeriodComponent> {
 pub fn accumulate_channel_amplitude(col: &[f32], c: usize, mean_amp: &mut [f32]) {
     let half = col.len() / 2;
     assert_eq!(mean_amp.len(), half + 1, "periodogram length mismatch");
-    let spec = rfft(col);
+    // Only bins 0..=T/2 are consumed, so the packed half-spectrum
+    // transform suffices — half the FFT work of the former full rfft.
+    let spec = rfft_half(col);
     for (f, dst) in mean_amp.iter_mut().enumerate().take(half + 1) {
         *dst += spec[f].abs() / c as f32;
     }

@@ -18,7 +18,7 @@
 //! detection in `ts3-serve`'s online mode) without an FFT per sample.
 
 use crate::ring::RingWindow;
-use ts3_signal::fft::rfft;
+use ts3_signal::fft::rfft_half;
 use ts3_signal::spectrum::{
     dominant_period_from_spectrum, topk_periods_from_spectrum, PeriodComponent,
 };
@@ -137,7 +137,7 @@ impl SlidingDft {
             for i in 0..self.t {
                 col[i] = self.ring.row(i)[ch];
             }
-            let spec = rfft(&col);
+            let spec = rfft_half(&col);
             for f in 0..nbins {
                 self.bins_re[ch * nbins + f] = spec[f].re as f64;
                 self.bins_im[ch * nbins + f] = spec[f].im as f64;

@@ -132,7 +132,12 @@ pub(crate) fn gemm(a: MatRef, b: MatRef, out: &mut [f32], m: usize, k: usize, n:
                             let ap = &apack[ir * kc * MR..][..kc * MR];
                             let tile = (ic + ir * MR) * n + jc + jr * NR;
                             if mr == MR && nr == NR {
-                                micro_full(kc, ap, bp, &mut out[tile..], n);
+                                // Runtime dispatch: the AVX2 transcription is
+                                // bitwise-equal to the scalar kernel (see
+                                // crate::simd), so this is purely a speed choice.
+                                if !crate::simd::micro_full_dispatch(kc, ap, bp, &mut out[tile..], n) {
+                                    micro_full(kc, ap, bp, &mut out[tile..], n);
+                                }
                             } else {
                                 micro_edge(kc, ap, bp, &mut out[tile..], n, mr, nr);
                             }

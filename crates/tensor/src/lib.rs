@@ -42,6 +42,7 @@ mod manip;
 pub mod par;
 mod reduce;
 pub mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{avg_pool_axis, col2im, conv1d, conv2d, im2col, im2col_into, moving_avg_same};

@@ -43,6 +43,9 @@ fn matmul_span(b: usize, m: usize, k: usize, n: usize, shared_rhs: bool) -> ts3_
         ts3_obs::counter_add("tensor.matmul.calls", 1);
         ts3_obs::counter_add("tensor.matmul.flops", flops as u64);
         ts3_obs::counter_add("tensor.matmul.bytes", bytes as u64);
+        // Which kernel family (avx2/scalar) served this call: lets
+        // serve/stream latency reports attribute shifts to dispatch.
+        ts3_obs::counter_add(crate::simd::gemm_dispatch_counter(), 1);
     }
     s
 }

@@ -1,0 +1,203 @@
+//! Runtime-dispatched explicit SIMD kernels (AVX2 + FMA) and the
+//! process-wide dispatch policy they share with `ts3-signal`'s
+//! butterfly kernels.
+//!
+//! ## Bitwise-equality contract
+//!
+//! Every explicit SIMD kernel in the workspace is a *lane-parallel
+//! transcription* of its scalar reference: each output element sees the
+//! same sequence of f32 operations, in the same order, with the same
+//! rounding behaviour. Concretely, every scalar `a.mul_add(b, c)`
+//! becomes one `_mm256_fmadd_ps` lane and every
+//! `a.mul_add(-b, c)` becomes one `_mm256_fnmadd_ps` lane — both are
+//! single-rounding fused operations, so SIMD and scalar results are
+//! **bit-for-bit identical**. The sweep tests
+//! (`tensor/tests/simd_equivalence.rs`, `signal/tests/simd_fft.rs`)
+//! enforce this, which is what lets runtime dispatch slot under the
+//! workspace determinism contract: which kernel ran is an observability
+//! fact (`.sched.` counters, trace manifests), never a numeric one.
+//!
+//! ## Dispatch policy
+//!
+//! The AVX2 path runs only when the host CPU reports `avx2` **and**
+//! `fma` (checked once, cached — same pattern as
+//! [`crate::par::max_threads`]) and the `TS3_SIMD` environment variable
+//! is not `0`. `TS3_SIMD=0` forces the scalar reference path for
+//! debugging; [`set_simd_enabled`] overrides the cap at runtime for
+//! tests and calibration tools that compare both paths in one process.
+//! On non-x86_64 targets everything resolves to the scalar path at
+//! compile time.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Dispatch mode: `0` = not yet resolved, `1` = scalar, `2` = AVX2+FMA.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+const SCALAR: u8 = 1;
+const AVX2: u8 = 2;
+
+/// What the hardware (and target) supports, ignoring the env override.
+fn hw_mode() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return AVX2;
+        }
+    }
+    SCALAR
+}
+
+/// Resolve the dispatch mode once: `TS3_SIMD=0` forces scalar, anything
+/// else defers to runtime CPU-feature detection.
+fn mode() -> u8 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != 0 {
+        return m;
+    }
+    let forced_scalar = std::env::var("TS3_SIMD").is_ok_and(|v| v.trim() == "0");
+    let resolved = if forced_scalar { SCALAR } else { hw_mode() };
+    // Racing initialisers resolve the same value; last-store-wins is
+    // harmless (same pattern as `par::max_threads`).
+    MODE.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// True when the explicit AVX2+FMA kernels are selected.
+pub fn avx2_active() -> bool {
+    mode() == AVX2
+}
+
+/// Override the SIMD dispatch at runtime: `set_simd_enabled(false)`
+/// forces the scalar reference path, `set_simd_enabled(true)` restores
+/// hardware detection (which may still resolve to scalar on hosts
+/// without AVX2+FMA). Exists for the SIMD-vs-scalar bitwise sweep tests
+/// and bench tooling; production code should configure `TS3_SIMD`.
+pub fn set_simd_enabled(enabled: bool) {
+    MODE.store(if enabled { hw_mode() } else { SCALAR }, Ordering::Relaxed);
+}
+
+/// Name of the selected kernel family, for trace manifests and bench
+/// reports (`"avx2"` or `"scalar"`).
+pub fn kernel_name() -> &'static str {
+    if avx2_active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// `.sched.`-namespaced dispatch counter for the gemm entry points —
+/// which kernel family served a matmul call. Scheduling metadata, so it
+/// is excluded from cross-run determinism comparisons (the outputs are
+/// bitwise identical either way).
+pub fn gemm_dispatch_counter() -> &'static str {
+    if avx2_active() {
+        "tensor.gemm.sched.dispatch_avx2"
+    } else {
+        "tensor.gemm.sched.dispatch_scalar"
+    }
+}
+
+/// Run the packed `MR x NR` micro-kernel through the AVX2 path if it is
+/// selected; returns `false` when the caller should run the scalar
+/// reference instead (non-x86_64 target, missing CPU features, or
+/// `TS3_SIMD=0`).
+#[inline]
+pub(crate) fn micro_full_dispatch(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    row_stride: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_active() {
+        // SAFETY: avx2_active() only returns true after runtime
+        // detection confirmed this CPU executes AVX2 and FMA.
+        unsafe { micro_full_avx2(kc, ap, bp, out, row_stride) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (kc, ap, bp, out, row_stride);
+    }
+    false
+}
+
+/// AVX2+FMA transcription of [`crate::gemm`]'s `micro_full`: a 4x16
+/// register tile held in eight `__m256` accumulators, updated with one
+/// broadcast-FMA per `(p, row)` step in ascending `p` — the exact
+/// operation sequence of the scalar kernel, so results are bitwise
+/// identical (see module docs).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe` only because of `target_feature` — the dispatch
+// wrapper calls this solely after `avx2_active()` confirmed AVX2+FMA.
+// Raw pointer loads/stores are covered by the panel/output length
+// asserts at the top of the body.
+unsafe fn micro_full_avx2(kc: usize, ap: &[f32], bp: &[f32], out: &mut [f32], row_stride: usize) {
+    use crate::gemm::{MR, NR};
+    use core::arch::x86_64::*;
+    // The bounds the raw loads/stores below rely on; the scalar kernel
+    // enforces the same ones through slice indexing.
+    assert!(ap.len() >= kc * MR, "micro_full_avx2: A panel too short");
+    assert!(bp.len() >= kc * NR, "micro_full_avx2: B panel too short");
+    assert!(
+        out.len() >= (MR - 1) * row_stride + NR,
+        "micro_full_avx2: output tile out of bounds"
+    );
+    let o = out.as_mut_ptr();
+    // SAFETY: every pointer below stays inside `out[0 .. (MR-1)*row_stride + NR]`,
+    // `ap[0 .. kc*MR]` or `bp[0 .. kc*NR]`, which the asserts above proved
+    // in-bounds; loads/stores are unaligned-safe (`loadu`/`storeu`).
+    unsafe {
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            row[0] = _mm256_loadu_ps(o.add(i * row_stride));
+            row[1] = _mm256_loadu_ps(o.add(i * row_stride + 8));
+        }
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(b.add(p * NR));
+            let b1 = _mm256_loadu_ps(b.add(p * NR + 8));
+            for (i, row) in acc.iter_mut().enumerate() {
+                let ai = _mm256_broadcast_ss(&*a.add(p * MR + i));
+                row[0] = _mm256_fmadd_ps(ai, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(ai, b1, row[1]);
+            }
+        }
+        for (i, row) in acc.iter().enumerate() {
+            _mm256_storeu_ps(o.add(i * row_stride), row[0]);
+            _mm256_storeu_ps(o.add(i * row_stride + 8), row[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_name_matches_active_flag() {
+        let name = kernel_name();
+        assert_eq!(name == "avx2", avx2_active());
+        assert!(name == "avx2" || name == "scalar");
+    }
+
+    #[test]
+    fn set_simd_enabled_round_trips() {
+        let initial = avx2_active();
+        set_simd_enabled(false);
+        assert!(!avx2_active());
+        assert_eq!(kernel_name(), "scalar");
+        assert_eq!(gemm_dispatch_counter(), "tensor.gemm.sched.dispatch_scalar");
+        set_simd_enabled(true);
+        // Restoring re-runs hardware detection, so the flag returns to
+        // whatever this host supports.
+        assert_eq!(avx2_active(), hw_mode() == AVX2);
+        set_simd_enabled(initial);
+    }
+}

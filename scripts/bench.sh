@@ -53,6 +53,13 @@ OUT_DIR=$(cd "$OUT_DIR" && pwd)
 
 BENCH="cargo bench -p ts3-bench --features bench-harness --offline"
 
+# Thread-scaling sweep (sweep/<kernel>/t<n> rows in the kernel JSON):
+# comma list of thread caps, overridable via TS3_BENCH_THREAD_SWEEP.
+# The defaults match the committed baselines — bench_compare fails on
+# missing baseline rows, so runs must produce at least these curves.
+SWEEP_SMOKE=${TS3_BENCH_THREAD_SWEEP:-1,2}
+SWEEP_FULL=${TS3_BENCH_THREAD_SWEEP:-1,2,4}
+
 if [[ $SMOKE -eq 1 ]]; then
   # Smoke results feed the committed regression baselines, so refuse to
   # benchmark a tree that violates the workspace contracts: a HashMap or
@@ -63,11 +70,13 @@ if [[ $SMOKE -eq 1 ]]; then
   echo "== bench.sh: smoke (reduced kernels, 40 ms budget, 2 threads) =="
   TS3_BENCH_SMOKE=1 TS3_BENCH_MS=40 TS3_THREADS=2 TS3_TRACE=1 \
     TS3_TRACE_MAX_SPANS=2000 \
+    TS3_BENCH_THREAD_SWEEP="$SWEEP_SMOKE" \
     TS3_BENCH_OUT="$OUT_DIR/BENCH_kernels_smoke.json" \
     $BENCH --bench kernels
 else
   echo "== bench.sh: full kernel benchmarks =="
-  TS3_BENCH_OUT="$OUT_DIR/BENCH_kernels.json" \
+  TS3_BENCH_THREAD_SWEEP="$SWEEP_FULL" \
+    TS3_BENCH_OUT="$OUT_DIR/BENCH_kernels.json" \
     $BENCH --bench kernels
   echo "== bench.sh: full model benchmarks =="
   TS3_BENCH_OUT="$OUT_DIR/BENCH_model.json" \

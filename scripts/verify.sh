@@ -49,6 +49,16 @@ echo "== 6/10 kernel bench smoke + regression gate =="
 timeout 900 ./scripts/bench.sh --smoke --out-dir target/bench-smoke > /dev/null
 ./target/release/bench_compare results/BENCH_kernels_smoke.json \
   target/bench-smoke/BENCH_kernels_smoke.json --threshold 50
+# On hosts that advertise AVX2, the explicit SIMD kernels must actually
+# have run during the smoke: the bench traces with TS3_TRACE=1, so the
+# `.sched.` dispatch counters land in its manifest. (Counters only —
+# outputs are bitwise identical across dispatch, see crates/tensor/src/simd.rs.)
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  ./target/release/trace_check results/BENCH_kernels_smoke.trace.json \
+    --require-counter tensor.gemm.sched.dispatch_avx2 \
+    --require-counter signal.fft.sched.dispatch_avx2
+  echo "ok: AVX2 dispatch counters ticked during the bench smoke"
+fi
 
 echo "== 7/10 serving + streaming bench smoke + regression gates =="
 # Closed-loop serving latency (ts3-serve) at 1/8/64 clients against the
