@@ -10,6 +10,10 @@
 //!   per-tenant latency summary exists.
 //! * `ts3.flight.v1` postmortems (`--flight <path>`) — the SLO trigger
 //!   actually fired and the event ring is non-empty.
+//! * `ts3.lint.v2` lint reports (`--lint <path>`) — files were walked,
+//!   every reported rule carries a timing entry, and the resolved crate
+//!   DAG is non-empty and internally closed (every dependency is
+//!   itself a workspace crate).
 //!
 //! Exits non-zero (with a message on stderr) on any failure, so
 //! `scripts/verify.sh` can gate on it.
@@ -20,6 +24,7 @@
 //! trace_check <path> [--require-epoch] [--require-kernel-span] [--require-counter NAME]...
 //! trace_check --timeline <path>
 //! trace_check --flight <path>
+//! trace_check --lint <path>
 //! ```
 //!
 //! `--require-counter NAME` (repeatable) fails unless the manifest's
@@ -153,8 +158,90 @@ fn check_flight(path: &str) {
     );
 }
 
+/// Validate a `ts3.lint.v2` report: the walk saw files, the rule list
+/// is non-empty and fully timed, and the crate DAG is a closed graph
+/// over workspace crates.
+fn check_lint(path: &str) {
+    let doc = load(path);
+    check_schema(&doc, path, "ts3.lint.v2");
+    let checked = doc
+        .get("checked_files")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail(&format!("{path}: no checked_files count")));
+    if checked <= 0.0 {
+        fail(&format!("{path}: lint run walked zero files"));
+    }
+    let rules = doc
+        .get("rules")
+        .and_then(|r| r.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: no rules array")));
+    if rules.is_empty() {
+        fail(&format!("{path}: rules array is empty"));
+    }
+    let timing = doc
+        .get("rule_timing_us")
+        .and_then(|t| t.as_object())
+        .unwrap_or_else(|| fail(&format!("{path}: no rule_timing_us object")));
+    for r in rules {
+        let name = r
+            .as_str()
+            .unwrap_or_else(|| fail(&format!("{path}: non-string rule id in rules array")));
+        let timed = timing
+            .iter()
+            .any(|(k, v)| k == name && v.as_f64().is_some());
+        if !timed {
+            fail(&format!("{path}: rule {name} has no numeric rule_timing_us entry"));
+        }
+    }
+    let dag = doc
+        .get("crate_dag")
+        .and_then(|d| d.as_object())
+        .unwrap_or_else(|| fail(&format!("{path}: no crate_dag object")));
+    if dag.is_empty() {
+        fail(&format!("{path}: crate_dag is empty (no workspace manifests parsed)"));
+    }
+    let mut edges = 0usize;
+    for (name, deps) in dag {
+        let deps = deps
+            .as_array()
+            .unwrap_or_else(|| fail(&format!("{path}: crate_dag[{name}] is not an array")));
+        for d in deps {
+            let dep = d
+                .as_str()
+                .unwrap_or_else(|| fail(&format!("{path}: non-string dep under {name}")));
+            if !dag.iter().any(|(k, _)| k == dep) {
+                fail(&format!(
+                    "{path}: crate_dag edge {name} -> {dep} points outside the workspace"
+                ));
+            }
+            edges += 1;
+        }
+    }
+    if doc.get("diagnostics").and_then(|d| d.as_array()).is_none() {
+        fail(&format!("{path}: no diagnostics array"));
+    }
+    let summary = doc
+        .get("summary")
+        .unwrap_or_else(|| fail(&format!("{path}: no summary object")));
+    for key in ["errors", "warnings"] {
+        if summary.get(key).and_then(|v| v.as_f64()).is_none() {
+            fail(&format!("{path}: summary missing numeric {key}"));
+        }
+    }
+    println!(
+        "trace_check: OK {path} ({checked:.0} files, {} rules timed, {} crates, {edges} dag edges)",
+        rules.len(),
+        dag.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--lint") {
+        let path = args.get(i + 1).unwrap_or_else(|| fail("--lint needs a path"));
+        check_lint(path);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--timeline") {
         let path = args
             .get(i + 1)

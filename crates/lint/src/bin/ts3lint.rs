@@ -2,31 +2,50 @@
 //!
 //! ```text
 //! ts3lint [--root DIR] [--config FILE] [--rule NAME]... \
-//!         [--json [FILE]] [--deny-all] [--list-rules]
+//!         [--json [FILE]] [--bench-out FILE] [--deny-all] [--list-rules]
 //! ```
 //!
-//! * `--root DIR`     workspace root (default: nearest ancestor of the
+//! * `--root DIR`      workspace root (default: nearest ancestor of the
 //!   current directory containing `ts3lint.json`, else `.`)
-//! * `--config FILE`  lint config (default: `<root>/ts3lint.json`)
-//! * `--rule NAME`    run only the named rule(s); repeatable
-//! * `--json [FILE]`  emit the `ts3.lint.v1` report as JSON to FILE
+//! * `--config FILE`   lint config (default: `<root>/ts3lint.json`)
+//! * `--rule NAME`     run only the named rule(s); repeatable
+//! * `--json [FILE]`   emit the `ts3.lint.v2` report as JSON to FILE
 //!   (or stdout when FILE is omitted/`-`) instead of rustc-style text
-//! * `--deny-all`     treat warnings as errors for the exit status
-//! * `--list-rules`   print the rule ids and exit
+//! * `--bench-out FILE` write a `ts3.bench.v1` document with the lint
+//!   wall time (`lint/wall_ms`) and diagnostic count
+//!   (`lint/diagnostics`), for `bench_compare` regression gating
+//! * `--deny-all`      treat warnings as errors for the exit status
+//! * `--list-rules`    print the rule ids and exit
 //!
 //! Exit status: 0 on a clean tree, 1 when diagnostics fail the run,
 //! 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use ts3_lint::{lint_workspace, report, Config, Severity, ALL_RULES};
+use ts3_json::Json;
+use ts3_lint::{lint_workspace_v2, now_us, report_v2, Config, Severity, ALL_RULES};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ts3lint [--root DIR] [--config FILE] [--rule NAME]... \
-         [--json [FILE]] [--deny-all] [--list-rules]"
+         [--json [FILE]] [--bench-out FILE] [--deny-all] [--list-rules]"
     );
     ExitCode::from(2)
+}
+
+/// One `ts3.bench.v1` entry; the measurement lands in `median_ns` (the
+/// key `bench_compare` reads) with the quartile fields collapsed onto
+/// it, since a lint run is a single observation.
+fn bench_entry(op: &str, shape: &str, value: u64) -> Json {
+    Json::obj([
+        ("op", Json::from(op)),
+        ("shape", Json::from(shape)),
+        ("median_ns", Json::from(value)),
+        ("p25_ns", Json::from(value)),
+        ("p75_ns", Json::from(value)),
+        ("min_ns", Json::from(value)),
+        ("iters", Json::from(1usize)),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -34,6 +53,7 @@ fn main() -> ExitCode {
     let mut config_path: Option<PathBuf> = None;
     let mut rules: Vec<String> = Vec::new();
     let mut json_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut deny_all = false;
 
     let mut args = std::env::args().skip(1).peekable();
@@ -59,6 +79,10 @@ fn main() -> ExitCode {
                 };
                 json_out = Some(file.unwrap_or_else(|| "-".to_string()));
             }
+            "--bench-out" => match args.next() {
+                Some(v) => bench_out = Some(v),
+                None => return usage(),
+            },
             "--deny-all" => deny_all = true,
             "--list-rules" => {
                 for r in ALL_RULES {
@@ -92,18 +116,39 @@ fn main() -> ExitCode {
         Config::default()
     };
 
-    let (diags, checked) = match lint_workspace(&root, &cfg, &rules) {
+    let t0 = now_us();
+    let run = match lint_workspace_v2(&root, &cfg, &rules) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("ts3lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let wall_us = now_us() - t0;
+    let (diags, checked) = (run.diags, run.checked_files);
 
     let failing = diags
         .iter()
         .filter(|d| deny_all || d.severity == Severity::Error)
         .count();
+
+    if let Some(dest) = bench_out {
+        let doc = Json::obj([
+            ("schema", Json::from("ts3.bench.v1")),
+            ("threads", Json::from(1usize)),
+            (
+                "entries",
+                Json::Arr(vec![
+                    bench_entry("lint", "wall_ms", wall_us * 1_000),
+                    bench_entry("lint", "diagnostics", diags.len() as u64),
+                ]),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(&dest, doc.to_string()) {
+            eprintln!("ts3lint: write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(dest) = json_out {
         let selected: Vec<&str> = if rules.is_empty() {
@@ -111,7 +156,14 @@ fn main() -> ExitCode {
         } else {
             rules.iter().map(String::as_str).collect()
         };
-        let doc = report(&diags, checked, &selected, deny_all);
+        let doc = report_v2(
+            &diags,
+            checked,
+            &selected,
+            deny_all,
+            &run.crate_dag,
+            &run.rule_timing_us,
+        );
         let text = doc.to_string();
         if dest == "-" {
             println!("{text}");

@@ -1,0 +1,21 @@
+//! Monotonic microsecond clock for per-rule timing in the
+//! `ts3.lint.v2` report.
+//!
+//! The lint pass is tooling, not a deterministic kernel, so it is
+//! allowed to observe time — but only through this one module, which is
+//! itself on the `wallclock_allow` list. Keeping the `Instant` tokens
+//! here means the rest of the crate stays clean under its own
+//! `no-wallclock-or-entropy` rule.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the first call in this process. Monotonic and
+/// cheap; used to attribute wall time to individual rules and to the
+/// `lint/wall_ms` bench row.
+pub fn now_us() -> u64 {
+    let start = START.get_or_init(Instant::now);
+    start.elapsed().as_micros() as u64
+}

@@ -21,6 +21,20 @@ pub struct Config {
     /// Files under the FMA policy (`a * b + c` float folds must be
     /// `mul_add`).
     pub fma_files: Vec<String>,
+    /// Files under the `unsafe-dataflow` rule: every `unsafe { … }`
+    /// block must be preceded in-function by a bounds-establishing
+    /// `assert!`/`debug_assert!` (or carry a reasoned allow directive).
+    pub unsafe_dataflow_files: Vec<String>,
+    /// The committed registry of `TS3_*` environment knobs. Every
+    /// `std::env::var("TS3_…")` read must name a registered knob, every
+    /// registered knob must be read somewhere, and every knob must be
+    /// documented in README.md (`env-registry` rule).
+    pub env_registry: Vec<String>,
+    /// Canonical nested-lock acquisition order, outermost first. Lock
+    /// classes are `<file-stem>.<receiver>` (e.g. `par.workers`); the
+    /// `lock-order` rule fails on classes missing from this list and on
+    /// observed acquisitions that contradict it.
+    pub lock_order: Vec<String>,
 }
 
 impl Default for Config {
@@ -35,6 +49,9 @@ impl Default for Config {
             skip_dirs: vec!["target".into()],
             wallclock_allow: Vec::new(),
             fma_files: Vec::new(),
+            unsafe_dataflow_files: Vec::new(),
+            env_registry: Vec::new(),
+            lock_order: Vec::new(),
         }
     }
 }
@@ -67,6 +84,15 @@ impl Config {
         if let Some(v) = string_list(doc, "fma_files") {
             cfg.fma_files = v;
         }
+        if let Some(v) = string_list(doc, "unsafe_dataflow_files") {
+            cfg.unsafe_dataflow_files = v;
+        }
+        if let Some(v) = string_list(doc, "env_registry") {
+            cfg.env_registry = v;
+        }
+        if let Some(v) = string_list(doc, "lock_order") {
+            cfg.lock_order = v;
+        }
         Ok(cfg)
     }
 
@@ -96,6 +122,20 @@ mod tests {
         .expect("config parses");
         assert_eq!(cfg.roots, ["x"]);
         assert_eq!(cfg.fma_files, ["a.rs"]);
+    }
+
+    #[test]
+    fn graph_rule_lists_parse() {
+        let cfg = Config::parse(
+            r#"{"schema": "ts3.lint.config.v1",
+                "unsafe_dataflow_files": ["a.rs"],
+                "env_registry": ["TS3_THREADS"],
+                "lock_order": ["par.workers", "par.slot"]}"#,
+        )
+        .expect("config parses");
+        assert_eq!(cfg.unsafe_dataflow_files, ["a.rs"]);
+        assert_eq!(cfg.env_registry, ["TS3_THREADS"]);
+        assert_eq!(cfg.lock_order, ["par.workers", "par.slot"]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Diagnostics: the finding type, rustc-style text rendering, and the
-//! `ts3.lint.v1` JSON report.
+//! `ts3.lint.v1` / `ts3.lint.v2` JSON reports.
 
+use std::collections::BTreeMap;
 use ts3_json::Json;
 
 /// How severe a finding is. `--deny-all` promotes warnings to errors at
@@ -95,6 +96,55 @@ pub fn report(
         ("deny_all", Json::from(deny_all)),
         ("checked_files", Json::from(checked_files)),
         ("rules", Json::Arr(rules.iter().map(|r| Json::from(*r)).collect())),
+        ("diagnostics", Json::Arr(diags.iter().map(Diagnostic::to_json).collect())),
+        (
+            "summary",
+            Json::obj([
+                ("errors", Json::from(errors)),
+                ("warnings", Json::from(warnings)),
+            ]),
+        ),
+    ])
+}
+
+/// Build the `ts3.lint.v2` report document: everything `ts3.lint.v1`
+/// carries, plus the resolved crate dependency DAG and per-rule wall
+/// times. `trace_check --lint` validates this schema in the verify
+/// pipeline.
+pub fn report_v2(
+    diags: &[Diagnostic],
+    checked_files: usize,
+    rules: &[&str],
+    deny_all: bool,
+    crate_dag: &BTreeMap<String, Vec<String>>,
+    rule_timing_us: &BTreeMap<&'static str, u64>,
+) -> Json {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    let dag = Json::Obj(
+        crate_dag
+            .iter()
+            .map(|(name, deps)| {
+                (
+                    name.clone(),
+                    Json::Arr(deps.iter().map(|d| Json::from(d.as_str())).collect()),
+                )
+            })
+            .collect(),
+    );
+    let timing = Json::Obj(
+        rule_timing_us
+            .iter()
+            .map(|(rule, us)| ((*rule).to_string(), Json::from(*us)))
+            .collect(),
+    );
+    Json::obj([
+        ("schema", Json::from("ts3.lint.v2")),
+        ("deny_all", Json::from(deny_all)),
+        ("checked_files", Json::from(checked_files)),
+        ("rules", Json::Arr(rules.iter().map(|r| Json::from(*r)).collect())),
+        ("crate_dag", dag),
+        ("rule_timing_us", timing),
         ("diagnostics", Json::Arr(diags.iter().map(Diagnostic::to_json).collect())),
         (
             "summary",

@@ -2,15 +2,19 @@
 //! `// ts3-lint: allow(rule) reason` directives, `#[cfg(test)]` span
 //! tracking, and suppression bookkeeping.
 
+use crate::clock::now_us;
 use crate::config::Config;
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{lex, TokKind, Token};
 use crate::rules;
 use crate::walk::FileKind;
 use std::cell::Cell;
+use std::collections::BTreeMap;
 
-/// The six contract rules plus the two directive meta-rules, in
-/// reporting order.
+/// Every rule id, in reporting order: eight per-file contract rules,
+/// three workspace-graph rules (which only run under
+/// [`crate::lint_workspace_v2`] — they need the whole file set), the
+/// config cross-check, and the two directive meta-rules.
 pub const ALL_RULES: &[&str] = &[
     "unsafe-needs-safety",
     "no-hashmap-in-lib",
@@ -18,9 +22,17 @@ pub const ALL_RULES: &[&str] = &[
     "no-unwrap-in-lib",
     "fma-policy",
     "hermetic-imports",
+    "unsafe-dataflow",
+    "env-registry",
+    "crate-layering",
+    "lock-order",
+    "config-liveness",
     "allow-needs-reason",
     "unused-allow",
 ];
+
+/// Accumulated wall time per rule id, in microseconds.
+pub(crate) type RuleTiming = BTreeMap<&'static str, u64>;
 
 /// Marker accepted as a safety justification: the canonical `// SAFETY:`
 /// comment or a rustdoc `# Safety` section heading.
@@ -56,6 +68,15 @@ pub(crate) struct LineInfo {
     pub comments: Vec<usize>,
 }
 
+/// Token extent of one `fn` body: indices (into the token vec) of the
+/// opening and closing braces. Nested functions produce nested spans;
+/// the innermost containing span is "the enclosing function".
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FnSpan {
+    pub open: usize,
+    pub close: usize,
+}
+
 /// Everything a rule needs to inspect one file.
 pub struct FileCtx<'a> {
     /// Workspace-relative path.
@@ -68,6 +89,9 @@ pub struct FileCtx<'a> {
     pub(crate) lines: Vec<LineInfo>,
     /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
     pub(crate) test_spans: Vec<(u32, u32)>,
+    /// Body extents of every `fn` item, for dataflow-ish rules and
+    /// per-function lock-site grouping.
+    pub(crate) fn_spans: Vec<FnSpan>,
     /// Workspace configuration.
     pub cfg: &'a Config,
     pub(crate) directives: Vec<Directive>,
@@ -100,8 +124,20 @@ impl<'a> FileCtx<'a> {
             }
         }
         let test_spans = find_test_spans(&tokens);
+        let fn_spans = find_fn_spans(&tokens);
         let directives = find_directives(&tokens, &lines);
-        FileCtx { rel_path, kind, tokens, lines, test_spans, cfg, directives }
+        FileCtx { rel_path, kind, tokens, lines, test_spans, fn_spans, cfg, directives }
+    }
+
+    /// Index (into [`FileCtx::fn_spans`]) of the innermost function
+    /// body containing token `i`, if any.
+    pub(crate) fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        self.fn_spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.open < i && i <= s.close)
+            .min_by_key(|(_, s)| s.close - s.open)
+            .map(|(idx, _)| idx)
     }
 
     /// Is `line` inside a `#[cfg(test)]` module or `#[test]` function?
@@ -323,102 +359,193 @@ fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     spans
 }
 
-/// Lint one file: run the selected rules, apply allow directives, and
-/// report directive hygiene.
-///
-/// `selected` filters rules by id; empty means "all". When a filter is
-/// active the directive meta-rules only run if explicitly selected
-/// (usage tracking is incomplete under a filter, so `unused-allow`
-/// would produce false positives).
-pub fn lint_file(ctx: &FileCtx, selected: &[String]) -> Vec<Diagnostic> {
-    let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
-    let mut diags = Vec::new();
-    if run("unsafe-needs-safety") {
-        rules::unsafe_needs_safety(ctx, &mut diags);
-    }
-    if run("no-hashmap-in-lib") {
-        rules::no_hashmap_in_lib(ctx, &mut diags);
-    }
-    if run("no-wallclock-or-entropy") {
-        rules::no_wallclock_or_entropy(ctx, &mut diags);
-    }
-    if run("no-unwrap-in-lib") {
-        rules::no_unwrap_in_lib(ctx, &mut diags);
-    }
-    if run("fma-policy") {
-        rules::fma_policy(ctx, &mut diags);
-    }
-    if run("hermetic-imports") {
-        rules::hermetic_imports(ctx, &mut diags);
-    }
-
-    // Apply suppressions.
-    diags.retain(|d| {
-        let suppressed = ctx.directives.iter().any(|dir| {
-            dir.target_line == d.line && dir.rules.iter().any(|r| r == d.rule)
-        });
-        if suppressed {
-            for dir in &ctx.directives {
-                if dir.target_line == d.line && dir.rules.iter().any(|r| r == d.rule) {
-                    dir.used.set(true);
+/// Find the body extents of every `fn` item by scanning from each `fn`
+/// keyword to the first `{` at delimiter depth 0 (a `;` or `}` first
+/// means a body-less declaration — trait method signatures,
+/// fn-pointer-typed struct fields) and brace-matching from there.
+fn find_fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut spans = Vec::new();
+    for ci in 0..code.len() {
+        let t = code[ci].1;
+        if t.kind != TokKind::Ident || t.text != "fn" {
+            continue;
+        }
+        // Locate the body's opening brace past the signature.
+        let mut k = ci + 1;
+        let mut pdepth = 0i32;
+        let mut open = None;
+        while k < code.len() {
+            match code[k].1.text.as_str() {
+                "(" | "[" => pdepth += 1,
+                ")" | "]" => pdepth -= 1,
+                "{" if pdepth == 0 => {
+                    open = Some(k);
+                    break;
                 }
+                ";" | "}" if pdepth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut bdepth = 0i32;
+        let mut k = open;
+        while k < code.len() {
+            match code[k].1.text.as_str() {
+                "{" => bdepth += 1,
+                "}" => {
+                    bdepth -= 1;
+                    if bdepth == 0 {
+                        spans.push(FnSpan { open: code[open].0, close: code[k].0 });
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    spans
+}
+
+/// Run the per-file contract rules over one file, appending raw
+/// (un-suppressed) findings to `diags` and crediting wall time to each
+/// rule in `timing`. Suppression and directive hygiene are separate
+/// stages ([`apply_directives`], [`directive_hygiene`]) so the
+/// workspace pass can interleave the graph rules in between.
+pub(crate) fn run_file_rules(
+    ctx: &FileCtx,
+    selected: &[String],
+    diags: &mut Vec<Diagnostic>,
+    timing: &mut RuleTiming,
+) {
+    let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let rules: [(&'static str, fn(&FileCtx, &mut Vec<Diagnostic>)); 8] = [
+        ("unsafe-needs-safety", rules::unsafe_needs_safety),
+        ("no-hashmap-in-lib", rules::no_hashmap_in_lib),
+        ("no-wallclock-or-entropy", rules::no_wallclock_or_entropy),
+        ("no-unwrap-in-lib", rules::no_unwrap_in_lib),
+        ("fma-policy", rules::fma_policy),
+        ("hermetic-imports", rules::hermetic_imports),
+        ("unsafe-dataflow", rules::unsafe_dataflow),
+        ("env-registry", rules::env_registry),
+    ];
+    for (id, rule) in rules {
+        if !run(id) {
+            continue;
+        }
+        let t0 = now_us();
+        rule(ctx, diags);
+        *timing.entry(id).or_insert(0) += now_us() - t0;
+    }
+}
+
+/// Drop diagnostics of `path` suppressed by a matching allow directive
+/// (same target line, same rule id), marking the directive used.
+/// Diagnostics belonging to other files pass through untouched, so the
+/// workspace pass can run this per file over the combined diagnostic
+/// list after the graph rules have contributed their findings.
+pub(crate) fn apply_directives(
+    directives: &[Directive],
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    diags.retain(|d| {
+        if d.path != path {
+            return true;
+        }
+        let mut suppressed = false;
+        for dir in directives {
+            if dir.target_line == d.line && dir.rules.iter().any(|r| r == d.rule) {
+                dir.used.set(true);
+                suppressed = true;
             }
         }
         !suppressed
     });
+}
 
-    // Directive hygiene. Unknown rule names count as malformed: a typo
-    // in a directive must not silently disable a real allow.
-    for dir in &ctx.directives {
-        let at = Token {
-            kind: TokKind::LineComment,
-            text: String::new(),
-            line: dir.line,
-            col: dir.col,
-        };
+/// Directive hygiene for one file. Unknown rule names count as
+/// malformed: a typo in a directive must not silently disable a real
+/// allow. `unused-allow` only runs under an empty rule filter (usage
+/// tracking is incomplete under a filter, so it would produce false
+/// positives).
+pub(crate) fn directive_hygiene(
+    path: &str,
+    directives: &[Directive],
+    selected: &[String],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let at = |rule: &'static str, dir: &Directive, msg: String, help: String| Diagnostic {
+        rule,
+        severity: if rule == "unused-allow" { Severity::Warning } else { Severity::Error },
+        path: path.to_string(),
+        line: dir.line,
+        col: dir.col,
+        message: msg,
+        help,
+    };
+    for dir in directives {
         if run("allow-needs-reason") {
             if dir.rules.is_empty() {
-                diags.push(ctx.diag(
+                diags.push(at(
                     "allow-needs-reason",
-                    Severity::Error,
-                    &at,
-                    "malformed ts3-lint directive",
-                    "write `// ts3-lint: allow(rule-name) <reason>`",
+                    dir,
+                    "malformed ts3-lint directive".into(),
+                    "write `// ts3-lint: allow(rule-name) <reason>`".into(),
                 ));
                 continue;
             }
             if let Some(unknown) =
                 dir.rules.iter().find(|r| !ALL_RULES.contains(&r.as_str()))
             {
-                diags.push(ctx.diag(
+                diags.push(at(
                     "allow-needs-reason",
-                    Severity::Error,
-                    &at,
+                    dir,
                     format!("directive names unknown rule `{unknown}`"),
                     format!("known rules: {}", ALL_RULES.join(", ")),
                 ));
             }
             if !dir.has_reason {
-                diags.push(ctx.diag(
+                diags.push(at(
                     "allow-needs-reason",
-                    Severity::Error,
-                    &at,
+                    dir,
                     format!("allow({}) carries no reason", dir.rules.join(", ")),
-                    "append the justification after the closing paren",
+                    "append the justification after the closing paren".into(),
                 ));
             }
         }
         if run("unused-allow") && selected.is_empty() && !dir.rules.is_empty() && !dir.used.get()
         {
-            diags.push(ctx.diag(
+            diags.push(at(
                 "unused-allow",
-                Severity::Warning,
-                &at,
+                dir,
                 format!("allow({}) suppressed nothing", dir.rules.join(", ")),
-                "delete the stale directive",
+                "delete the stale directive".into(),
             ));
         }
     }
+}
+
+/// Lint one file in isolation: run the selected per-file rules, apply
+/// allow directives, and report directive hygiene. The workspace-graph
+/// rules (`crate-layering`, `lock-order`, `config-liveness` and the
+/// cross-file half of `env-registry`) need the whole file set and only
+/// run under [`crate::lint_workspace_v2`].
+///
+/// `selected` filters rules by id; empty means "all".
+pub fn lint_file(ctx: &FileCtx, selected: &[String]) -> Vec<Diagnostic> {
+    let mut timing = RuleTiming::new();
+    let mut diags = Vec::new();
+    run_file_rules(ctx, selected, &mut diags, &mut timing);
+    apply_directives(&ctx.directives, ctx.rel_path, &mut diags);
+    directive_hygiene(ctx.rel_path, &ctx.directives, selected, &mut diags);
     diags.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
     diags
 }

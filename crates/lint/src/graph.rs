@@ -1,0 +1,491 @@
+//! Pass 2 of the workspace analysis: rules over the assembled
+//! crate/lock/env graphs.
+//!
+//! * **crate-layering** — the inter-crate dependency DAG (parsed from
+//!   every `Cargo.toml`, cross-checked against `ts3*` path roots in the
+//!   sources) must respect the layer order committed in
+//!   ARCHITECTURE.md's machine-readable `<!-- ts3lint:layers … -->`
+//!   block: a crate may only depend on strictly lower layers, so a
+//!   back-edge (`ts3-signal` growing a dependency on `ts3-serve`) fails
+//!   the lint instead of silently inverting the architecture.
+//! * **lock-order** — `.lock()` sites are grouped per function; the
+//!   site order within a function over-approximates nesting order, and
+//!   every observed edge must agree with the committed canonical order
+//!   (`ts3lint.json` `lock_order`, outermost first). Unknown lock
+//!   classes and acquisition cycles are errors.
+//! * **env-registry** (workspace half) — every registered `TS3_*` knob
+//!   must actually be read somewhere and must appear in README.md; the
+//!   per-file half (reads must be registered) lives in
+//!   [`crate::rules::env_registry`].
+//! * **config-liveness** — every path listed in `ts3lint.json`
+//!   (`wallclock_allow`, `fma_files`, `unsafe_dataflow_files`) must
+//!   exist on disk, so renamed files cannot silently drop out of
+//!   policy.
+
+use crate::clock::now_us;
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::RuleTiming;
+use crate::symbols::FileSymbols;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One parsed workspace manifest.
+#[derive(Debug)]
+struct Manifest {
+    /// Crate name from `[package]`.
+    name: String,
+    /// Workspace-relative directory (`crates/tensor`; empty for the
+    /// root package).
+    dir: String,
+    /// Workspace-relative manifest path, for diagnostics.
+    path: String,
+    /// `ts3*` dependency names with the line each was declared on
+    /// (normal, dev and build sections alike — dev edges are layering
+    /// edges too: a low-layer crate must not pull a high-layer crate
+    /// even for its tests).
+    deps: Vec<(String, u32)>,
+}
+
+/// The resolved crate dependency DAG, for the `ts3.lint.v2` report:
+/// crate name → sorted dependency names.
+pub type CrateDag = BTreeMap<String, Vec<String>>;
+
+fn diag_at(
+    rule: &'static str,
+    path: &str,
+    line: u32,
+    col: u32,
+    message: String,
+    help: String,
+) -> Diagnostic {
+    Diagnostic { rule, severity: Severity::Error, path: path.to_string(), line, col, message, help }
+}
+
+/// Run every selected graph rule; returns the crate DAG for the
+/// report (empty when no manifest parsed).
+pub(crate) fn run(
+    root: &Path,
+    cfg: &Config,
+    symbols: &[FileSymbols],
+    selected: &[String],
+    diags: &mut Vec<Diagnostic>,
+    timing: &mut RuleTiming,
+) -> CrateDag {
+    let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let manifests = load_manifests(root);
+    let dag: CrateDag = manifests
+        .iter()
+        .map(|m| {
+            let mut deps: Vec<String> = m.deps.iter().map(|(d, _)| d.clone()).collect();
+            deps.sort();
+            deps.dedup();
+            (m.name.clone(), deps)
+        })
+        .collect();
+
+    if run("crate-layering") {
+        let t0 = now_us();
+        crate_layering(root, &manifests, symbols, diags);
+        *timing.entry("crate-layering").or_insert(0) += now_us() - t0;
+    }
+    if run("lock-order") {
+        let t0 = now_us();
+        lock_order(cfg, symbols, diags);
+        *timing.entry("lock-order").or_insert(0) += now_us() - t0;
+    }
+    if run("env-registry") {
+        let t0 = now_us();
+        env_registry_workspace(root, cfg, symbols, diags);
+        *timing.entry("env-registry").or_insert(0) += now_us() - t0;
+    }
+    if run("config-liveness") {
+        let t0 = now_us();
+        config_liveness(root, cfg, diags);
+        *timing.entry("config-liveness").or_insert(0) += now_us() - t0;
+    }
+    dag
+}
+
+// ---------------------------------------------------------------------------
+// Manifest and layer-block parsing.
+
+/// Read the root `Cargo.toml` plus every `crates/*/Cargo.toml`.
+/// Unreadable or package-less manifests are skipped — the layering rule
+/// then reports the crates that went missing from the layer map.
+fn load_manifests(root: &Path) -> Vec<Manifest> {
+    let mut out = Vec::new();
+    let mut push = |dir: String, rel: String| {
+        if let Ok(text) = std::fs::read_to_string(root.join(&rel)) {
+            if let Some(m) = parse_manifest(&dir, &rel, &text) {
+                out.push(m);
+            }
+        }
+    };
+    push(String::new(), "Cargo.toml".to_string());
+    let crates_dir = root.join("crates");
+    let mut subdirs: Vec<String> = std::fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    subdirs.sort();
+    for d in subdirs {
+        push(format!("crates/{d}"), format!("crates/{d}/Cargo.toml"));
+    }
+    out
+}
+
+/// Line-oriented parse of the sections this rule needs: `[package]
+/// name`, and `ts3*` keys under `[dependencies]` /
+/// `[dev-dependencies]` / `[build-dependencies]`. (The root manifest's
+/// `[workspace.dependencies]` section is a declaration list, not an
+/// edge set, and is deliberately not matched.)
+fn parse_manifest(dir: &str, rel: &str, text: &str) -> Option<Manifest> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if section == "[package]" && name.is_none() {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=').unwrap_or(rest);
+                name = rest.split('"').nth(1).map(str::to_string);
+            }
+        }
+        if matches!(
+            section.as_str(),
+            "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+        ) && line.starts_with("ts3")
+        {
+            let key: String = line
+                .chars()
+                .take_while(|c| !matches!(c, ' ' | '.' | '=' | '\t'))
+                .collect();
+            if !key.is_empty() {
+                deps.push((key, idx as u32 + 1));
+            }
+        }
+    }
+    Some(Manifest { name: name?, dir: dir.to_string(), path: rel.to_string(), deps })
+}
+
+/// Parse ARCHITECTURE.md's machine-readable layer block:
+///
+/// ```text
+/// <!-- ts3lint:layers
+/// 0: ts3-rng
+/// 1: ts3-json
+/// …
+/// -->
+/// ```
+///
+/// Returns crate name → layer number.
+fn parse_layers(text: &str) -> Option<BTreeMap<String, usize>> {
+    let mut layers = BTreeMap::new();
+    let mut in_block = false;
+    let mut seen_block = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line == "<!-- ts3lint:layers" {
+            in_block = true;
+            seen_block = true;
+            continue;
+        }
+        if !in_block {
+            continue;
+        }
+        if line == "-->" {
+            in_block = false;
+            continue;
+        }
+        let Some((num, names)) = line.split_once(':') else { continue };
+        let Ok(layer) = num.trim().parse::<usize>() else { continue };
+        for name in names.split_whitespace() {
+            layers.insert(name.to_string(), layer);
+        }
+    }
+    seen_block.then_some(layers)
+}
+
+// ---------------------------------------------------------------------------
+// crate-layering.
+
+fn crate_layering(
+    root: &Path,
+    manifests: &[Manifest],
+    symbols: &[FileSymbols],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap_or_default();
+    let Some(layers) = parse_layers(&arch) else {
+        diags.push(diag_at(
+            "crate-layering",
+            "ARCHITECTURE.md",
+            1,
+            1,
+            "no machine-readable `<!-- ts3lint:layers … -->` block found".to_string(),
+            "commit the crate layer map; the crate-layering rule enforces it against \
+             every Cargo.toml and use site"
+                .to_string(),
+        ));
+        return;
+    };
+    let known: Vec<&str> = manifests.iter().map(|m| m.name.as_str()).collect();
+    for name in layers.keys() {
+        if !known.contains(&name.as_str()) {
+            diags.push(diag_at(
+                "crate-layering",
+                "ARCHITECTURE.md",
+                1,
+                1,
+                format!("layer block names `{name}`, which is not a workspace crate"),
+                "remove the stale entry or fix the spelling".to_string(),
+            ));
+        }
+    }
+    for m in manifests {
+        let Some(&my_layer) = layers.get(&m.name) else {
+            diags.push(diag_at(
+                "crate-layering",
+                &m.path,
+                1,
+                1,
+                format!("crate `{}` is missing from ARCHITECTURE.md's layer block", m.name),
+                "assign it a layer in the `<!-- ts3lint:layers … -->` block".to_string(),
+            ));
+            continue;
+        };
+        for (dep, line) in &m.deps {
+            let Some(&dep_layer) = layers.get(dep) else { continue };
+            if dep_layer >= my_layer {
+                diags.push(diag_at(
+                    "crate-layering",
+                    &m.path,
+                    *line,
+                    1,
+                    format!(
+                        "layering back-edge: `{}` (layer {my_layer}) depends on `{dep}` \
+                         (layer {dep_layer})",
+                        m.name
+                    ),
+                    "a crate may only depend on strictly lower layers; move the shared \
+                     code down or update the committed layer map deliberately"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // Source-level edges: `ts3_x::…` roots must also respect the map —
+    // this catches dependencies that reach around Cargo.toml (or a
+    // manifest edit the lint run raced with).
+    for fs in symbols {
+        let from = crate_of_file(&fs.rel_path, manifests);
+        let Some(from) = from else { continue };
+        let Some(&from_layer) = layers.get(from) else { continue };
+        for u in &fs.ts3_uses {
+            let dep = u.root.replace('_', "-");
+            if dep == from || !known.contains(&dep.as_str()) {
+                continue;
+            }
+            let Some(&dep_layer) = layers.get(&dep) else { continue };
+            if dep_layer >= from_layer {
+                diags.push(diag_at(
+                    "crate-layering",
+                    &fs.rel_path,
+                    u.line,
+                    u.col,
+                    format!(
+                        "layering back-edge: `{from}` (layer {from_layer}) uses `{dep}` \
+                         (layer {dep_layer})"
+                    ),
+                    "a crate may only use strictly lower layers (see ARCHITECTURE.md's \
+                     layer block)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Which workspace crate owns a source file: longest matching manifest
+/// directory prefix, the root package for root-level `src/`, `tests/`
+/// and `examples/` files.
+fn crate_of_file<'a>(rel_path: &str, manifests: &'a [Manifest]) -> Option<&'a str> {
+    let mut best: Option<&Manifest> = None;
+    for m in manifests {
+        if m.dir.is_empty() {
+            if best.is_none() {
+                best = Some(m);
+            }
+        } else if rel_path.starts_with(&format!("{}/", m.dir))
+            && best.is_none_or(|b| m.dir.len() > b.dir.len())
+        {
+            best = Some(m);
+        }
+    }
+    best.map(|m| m.name.as_str())
+}
+
+// ---------------------------------------------------------------------------
+// lock-order.
+
+fn lock_order(cfg: &Config, symbols: &[FileSymbols], diags: &mut Vec<Diagnostic>) {
+    let pos = |class: &str| cfg.lock_order.iter().position(|c| c == class);
+    // Observed nesting edges: (outer, inner) → anchor site, deduped.
+    let mut edges: BTreeMap<(String, String), (String, u32, u32)> = BTreeMap::new();
+    for fs in symbols {
+        for s in &fs.lock_sites {
+            if pos(&s.class).is_none() {
+                diags.push(diag_at(
+                    "lock-order",
+                    &fs.rel_path,
+                    s.line,
+                    s.col,
+                    format!("lock class `{}` is not in the committed lock_order list", s.class),
+                    "add it to `lock_order` in ts3lint.json at its place in the \
+                     outermost-first acquisition order"
+                        .to_string(),
+                ));
+            }
+        }
+        // Within one function, site order over-approximates nesting:
+        // every earlier-acquired class is treated as potentially still
+        // held at each later site.
+        for (i, a) in fs.lock_sites.iter().enumerate() {
+            for b in fs.lock_sites.iter().skip(i + 1) {
+                if a.fn_idx != b.fn_idx || a.fn_idx.is_none() || a.class == b.class {
+                    continue;
+                }
+                edges
+                    .entry((a.class.clone(), b.class.clone()))
+                    .or_insert((fs.rel_path.clone(), b.line, b.col));
+            }
+        }
+    }
+    for ((outer, inner), (path, line, col)) in &edges {
+        if let (Some(po), Some(pi)) = (pos(outer), pos(inner)) {
+            if po > pi {
+                diags.push(diag_at(
+                    "lock-order",
+                    path,
+                    *line,
+                    *col,
+                    format!(
+                        "`{inner}` acquired while `{outer}` may be held, inverting the \
+                         committed order ({inner} is outer-than {outer})"
+                    ),
+                    "acquire locks in the ts3lint.json `lock_order` sequence, or fix \
+                     the committed order if the design changed"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // Cycle check over the observed edge set — mostly redundant with a
+    // consistent total order, but it catches contradictory edges when
+    // classes are missing from the committed list.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (outer, inner) in edges.keys() {
+        adj.entry(outer.as_str()).or_default().push(inner.as_str());
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![start];
+        let mut seen: Vec<&str> = Vec::new();
+        while let Some(n) = stack.pop() {
+            for &next in adj.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+                if next == start {
+                    let (path, line, col) =
+                        &edges[&(n.to_string(), next.to_string())];
+                    diags.push(diag_at(
+                        "lock-order",
+                        path,
+                        *line,
+                        *col,
+                        format!("nested lock acquisition cycle through `{start}`"),
+                        "two functions acquire these lock classes in opposite orders; \
+                         pick one order and fix the other site"
+                            .to_string(),
+                    ));
+                    stack.clear();
+                    break;
+                }
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// env-registry (workspace half) and config-liveness.
+
+fn env_registry_workspace(
+    root: &Path,
+    cfg: &Config,
+    symbols: &[FileSymbols],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let read_names: Vec<&str> = symbols
+        .iter()
+        .flat_map(|fs| fs.env_reads.iter().map(|r| r.name.as_str()))
+        .collect();
+    for knob in &cfg.env_registry {
+        if !read_names.contains(&knob.as_str()) {
+            diags.push(diag_at(
+                "env-registry",
+                "ts3lint.json",
+                1,
+                1,
+                format!("registered env knob `{knob}` is never read in the workspace"),
+                "delete the dead registry entry (and its README row) or wire the knob up"
+                    .to_string(),
+            ));
+        }
+        if !readme.contains(knob.as_str()) {
+            diags.push(diag_at(
+                "env-registry",
+                "README.md",
+                1,
+                1,
+                format!("registered env knob `{knob}` is not documented in README.md"),
+                "add it to the README environment-knob table".to_string(),
+            ));
+        }
+    }
+}
+
+fn config_liveness(root: &Path, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    let lists: [(&str, &[String]); 3] = [
+        ("wallclock_allow", &cfg.wallclock_allow),
+        ("fma_files", &cfg.fma_files),
+        ("unsafe_dataflow_files", &cfg.unsafe_dataflow_files),
+    ];
+    for (list, paths) in lists {
+        for p in paths {
+            if !root.join(p).is_file() {
+                diags.push(diag_at(
+                    "config-liveness",
+                    "ts3lint.json",
+                    1,
+                    1,
+                    format!("`{p}` in `{list}` does not exist on disk"),
+                    "the file was moved or deleted; update ts3lint.json so the policy \
+                     list cannot silently rot"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -257,6 +257,12 @@ fn lex_string_like(lx: &mut Lexer, out: &mut Vec<Token>, line: u32, col: u32, st
     }
     if lx.peek() == Some(b'r') {
         lx.bump();
+    } else {
+        // Plain byte string `b"…"`: escape-aware like `"…"` — only the
+        // raw flavours below ignore backslashes.
+        lex_quoted(lx, b'"');
+        out.push(Token::new(TokKind::Str, lx.slice(start), line, col));
+        return;
     }
     let mut guards = 0usize;
     while lx.peek() == Some(b'#') {

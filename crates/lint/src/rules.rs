@@ -244,6 +244,107 @@ pub fn fma_policy(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Identifiers that count as a bounds-establishing guard for the
+/// `unsafe-dataflow` rule when invoked as a macro (`ident!`).
+const ASSERT_IDENTS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// **unsafe-dataflow** — in the configured kernel files
+/// (`ts3lint.json` `unsafe_dataflow_files`), every `unsafe { … }`
+/// *block* must be preceded, inside the same function body, by an
+/// `assert!`/`debug_assert!` family call that establishes the bounds
+/// the raw operations rely on — or carry a reasoned
+/// `// ts3-lint: allow(unsafe-dataflow)` directive. `unsafe fn` /
+/// `unsafe impl` declarations are out of scope (they *state* a
+/// contract; blocks *rely* on one), as is any assert-less block whose
+/// justification is structural rather than checkable — that is what
+/// the directive is for.
+pub fn unsafe_dataflow(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.cfg.unsafe_dataflow_files.iter().any(|p| p == ctx.rel_path) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // Only `unsafe` blocks: the next code token must open a brace.
+        if !ctx.next_code(i + 1).is_some_and(|n| ctx.tokens[n].text == "{") {
+            continue;
+        }
+        let guarded = ctx.enclosing_fn(i).is_some_and(|fi| {
+            let span = ctx.fn_spans[fi];
+            (span.open..i).any(|j| {
+                let Some(tok) = ctx.code_tok(j) else { return false };
+                tok.kind == TokKind::Ident
+                    && ASSERT_IDENTS.contains(&tok.text.as_str())
+                    && ctx.next_code(j + 1).is_some_and(|n| ctx.tokens[n].text == "!")
+            })
+        });
+        if !guarded {
+            out.push(ctx.diag(
+                "unsafe-dataflow",
+                Severity::Error,
+                t,
+                "`unsafe` block with no bounds-establishing assert earlier in this function",
+                "establish the bounds the raw operations rely on with `assert!`/\
+                 `debug_assert!` before the block, or justify per site with \
+                 `// ts3-lint: allow(unsafe-dataflow) <reason>`",
+            ));
+        }
+    }
+}
+
+/// If token `i` is the string argument of a `std::env::var` /
+/// `var_os` call naming a `TS3_*` knob, return the knob name.
+pub(crate) fn env_read_at(ctx: &FileCtx, i: usize) -> Option<String> {
+    let t = &ctx.tokens[i];
+    if t.kind != TokKind::Str || !t.text.starts_with("\"TS3_") {
+        return None;
+    }
+    let open = ctx.prev_code(i.checked_sub(1)?)?;
+    if ctx.tokens[open].text != "(" {
+        return None;
+    }
+    let callee = ctx.prev_code(open.checked_sub(1)?)?;
+    let callee = &ctx.tokens[callee];
+    if callee.kind != TokKind::Ident || (callee.text != "var" && callee.text != "var_os") {
+        return None;
+    }
+    let name = t.text.trim_matches('"');
+    let well_formed = name.starts_with("TS3_")
+        && name.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_');
+    well_formed.then(|| name.to_string())
+}
+
+/// **env-registry** (per-file half) — every `std::env::var("TS3_…")`
+/// read must name a knob in the committed registry (`ts3lint.json`
+/// `env_registry`), so configuration surface cannot ship undocumented.
+/// The workspace pass adds the converse checks: registered knobs must
+/// actually be read somewhere and must appear in README.md.
+pub fn env_registry(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = env_read_at(ctx, i) else { continue };
+        if ctx.cfg.env_registry.iter().any(|e| e == &name) {
+            continue;
+        }
+        out.push(ctx.diag(
+            "env-registry",
+            Severity::Error,
+            &ctx.tokens[i],
+            format!("env knob `{name}` is read but not in the committed registry"),
+            "add it to `env_registry` in ts3lint.json and document it in README.md, \
+             or rename the variable out of the TS3_* namespace",
+        ));
+    }
+}
+
 /// **hermetic-imports** — `use`/`extern crate` may only name `std`,
 /// `core`, `alloc`, path keywords, or in-workspace `ts3*` crates. This
 /// is the source-level replacement for the `cargo tree` grep in

@@ -1,0 +1,162 @@
+//! Pass 1 of the workspace analysis: per-file symbol tables extracted
+//! from the token stream.
+//!
+//! [`extract`] distils one [`FileCtx`] into the owned facts the graph
+//! rules need — `ts3*` path roots (dependency edges), nested-lock
+//! acquisition sites, `TS3_*` environment reads — plus the file's allow
+//! directives, moved out of the context so suppression and hygiene can
+//! run *after* the graph rules have contributed their diagnostics.
+
+use crate::engine::{Directive, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::env_read_at;
+use crate::walk::FileKind;
+
+/// One `ts3*` path root used by a file — a dependency edge candidate.
+#[derive(Debug)]
+pub(crate) struct UseEdge {
+    /// The root identifier as written (`ts3_tensor`, `ts3net_core`).
+    pub root: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `.lock()` / `.try_lock()` call site.
+#[derive(Debug)]
+pub(crate) struct LockSite {
+    /// Lock class: `<file-stem>.<receiver>` (e.g. `par.workers`).
+    pub class: String,
+    pub line: u32,
+    pub col: u32,
+    /// Index of the innermost enclosing `fn` body (site order within a
+    /// function approximates nesting order), `None` at top level.
+    pub fn_idx: Option<usize>,
+}
+
+/// One `std::env::var("TS3_…")` read. (Per-site positions are reported
+/// by the per-file half of `env-registry`; the workspace half only
+/// needs the set of names.)
+#[derive(Debug)]
+pub(crate) struct EnvRead {
+    pub name: String,
+}
+
+/// The symbol table of one file.
+#[derive(Debug)]
+pub(crate) struct FileSymbols {
+    pub rel_path: String,
+    /// Distinct `ts3*` roots, first site each.
+    pub ts3_uses: Vec<UseEdge>,
+    /// Lock sites in token order (non-test code only).
+    pub lock_sites: Vec<LockSite>,
+    pub env_reads: Vec<EnvRead>,
+    /// Allow directives, moved out of the context.
+    pub directives: Vec<Directive>,
+}
+
+/// Extract the symbol table, taking ownership of the context's
+/// directives (the context is not usable for suppression afterwards).
+pub(crate) fn extract(ctx: &mut FileCtx) -> FileSymbols {
+    let mut ts3_uses: Vec<UseEdge> = Vec::new();
+    let mut lock_sites = Vec::new();
+    let mut env_reads = Vec::new();
+    let stem = file_stem(ctx.rel_path);
+
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        match t.kind {
+            TokKind::Ident => {}
+            TokKind::Str => {
+                if let Some(name) = env_read_at(ctx, i) {
+                    env_reads.push(EnvRead { name });
+                }
+                continue;
+            }
+            _ => continue,
+        }
+        // Dependency edges: any `ts3*` identifier used as a path root
+        // (`ts3_x::…`). Catches both `use ts3_x::y;` and fully
+        // qualified call sites; one edge per distinct root.
+        if t.text.starts_with("ts3")
+            && ctx.next_code(i + 1).is_some_and(|n| ctx.tokens[n].text == "::")
+            && !ts3_uses.iter().any(|u| u.root == t.text)
+        {
+            ts3_uses.push(UseEdge { root: t.text.clone(), line: t.line, col: t.col });
+        }
+        // Lock sites: `<receiver>.lock()` / `.try_lock()`. Test code is
+        // exempt — tests serialise themselves with ad-hoc guards that
+        // are not part of the production acquisition order.
+        if (t.text == "lock" || t.text == "try_lock")
+            && ctx.kind != FileKind::Test
+            && !ctx.in_test_code(t.line)
+            && ctx.next_code(i + 1).is_some_and(|n| ctx.tokens[n].text == "(")
+        {
+            let dot = i.checked_sub(1).and_then(|j| ctx.prev_code(j));
+            if dot.is_some_and(|d| ctx.tokens[d].text == ".") {
+                let receiver = receiver_ident(ctx, dot.unwrap_or(0));
+                lock_sites.push(LockSite {
+                    class: format!("{stem}.{receiver}"),
+                    line: t.line,
+                    col: t.col,
+                    fn_idx: ctx.enclosing_fn(i),
+                });
+            }
+        }
+    }
+
+    FileSymbols {
+        rel_path: ctx.rel_path.to_string(),
+        ts3_uses,
+        lock_sites,
+        env_reads,
+        directives: std::mem::take(&mut ctx.directives),
+    }
+}
+
+/// File stem of a workspace-relative path (`crates/tensor/src/par.rs`
+/// → `par`), used as the lock-class namespace.
+fn file_stem(rel_path: &str) -> &str {
+    let name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    name.strip_suffix(".rs").unwrap_or(name)
+}
+
+/// Walk back from the `.` before `lock` to the receiver identifier,
+/// skipping one trailing call/index suffix: `cache.lock()` → `cache`,
+/// `collector().lock()` → `collector`, `self.0.state.lock()` →
+/// `state`. Falls back to `expr` for anything more exotic, which still
+/// yields a stable (if coarse) class name.
+fn receiver_ident(ctx: &FileCtx, dot: usize) -> String {
+    let Some(mut j) = dot.checked_sub(1).and_then(|k| ctx.prev_code(k)) else {
+        return "expr".to_string();
+    };
+    // Skip matched `( … )` / `[ … ]` suffixes (e.g. the call parens of
+    // `collector()`).
+    while matches!(ctx.tokens[j].text.as_str(), ")" | "]") {
+        let close = ctx.tokens[j].text.clone();
+        let open = if close == ")" { "(" } else { "[" };
+        let mut depth = 1i32;
+        loop {
+            let Some(k) = j.checked_sub(1).and_then(|k| ctx.prev_code(k)) else {
+                return "expr".to_string();
+            };
+            j = k;
+            if ctx.tokens[j].text == close {
+                depth += 1;
+            } else if ctx.tokens[j].text == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        let Some(k) = j.checked_sub(1).and_then(|k| ctx.prev_code(k)) else {
+            return "expr".to_string();
+        };
+        j = k;
+    }
+    if ctx.tokens[j].kind == TokKind::Ident {
+        ctx.tokens[j].text.clone()
+    } else {
+        "expr".to_string()
+    }
+}

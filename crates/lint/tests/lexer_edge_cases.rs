@@ -1,0 +1,95 @@
+//! Lexer edge cases the graph rules lean on: multi-hash raw strings
+//! with embedded terminator look-alikes, byte and raw-byte string
+//! literals, inner attributes (`#![...]`), and `unsafe` appearing in
+//! doc comments — none of which may confuse the token stream or
+//! trigger token-based rules.
+
+use ts3_lint::lexer::{lex, TokKind, Token};
+use ts3_lint::{lint_source, Config, FileKind};
+
+fn kinds(tokens: &[Token]) -> Vec<(TokKind, &str)> {
+    tokens.iter().map(|t| (t.kind, t.text.as_str())).collect()
+}
+
+fn lint_lib(src: &str) -> Vec<ts3_lint::Diagnostic> {
+    lint_source("crates/demo/src/lib.rs", FileKind::Lib, src, &Config::default(), &[])
+}
+
+#[test]
+fn double_hash_raw_string_with_inner_single_hash_terminator() {
+    // `"#` inside a `r##"…"##` literal must not end it; the body also
+    // contains a full nested raw-string spelling.
+    let src = r####"let s = r##"outer "# and r#"inner"# done"## ;"####;
+    let toks = lex(src);
+    assert_eq!(
+        kinds(&toks),
+        vec![
+            (TokKind::Ident, "let"),
+            (TokKind::Ident, "s"),
+            (TokKind::Punct, "="),
+            (TokKind::Str, r####"r##"outer "# and r#"inner"# done"##"####),
+            (TokKind::Punct, ";"),
+        ]
+    );
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_single_str_tokens() {
+    let toks = lex(r###"let a = b"bytes \" here"; let c = br#"raw "bytes""#;"###);
+    let strs: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strs, vec![r#"b"bytes \" here""#, r###"br#"raw "bytes""#"###]);
+    // Nothing inside the literals leaks out as identifiers.
+    assert!(toks.iter().all(|t| t.text != "bytes" && t.text != "raw"));
+}
+
+#[test]
+fn inner_attributes_lex_as_punct_and_do_not_derail_rules() {
+    let src = "#![allow(dead_code)]\n#![doc = \"top\"]\npub fn ok() {}\n";
+    let toks = lex(src);
+    // `#` then `!` then a bracketed group; the attribute body is
+    // ordinary tokens, not swallowed.
+    assert_eq!(toks[0].text, "#");
+    assert_eq!(toks[1].text, "!");
+    assert!(toks.iter().any(|t| t.text == "dead_code"));
+    assert!(lint_lib(src).is_empty(), "{:?}", lint_lib(src));
+}
+
+#[test]
+fn unsafe_in_doc_comments_and_strings_is_not_code() {
+    // The word `unsafe` in a doc comment, a string, and a raw string
+    // must not trip unsafe-needs-safety (or any unsafe rule).
+    let src = "/// This function is not `unsafe` at all.\n\
+               //! module docs mention unsafe too\n\
+               pub fn safe() -> &'static str {\n\
+               \x20   let _raw = r#\"unsafe { }\"#;\n\
+               \x20   \"unsafe\"\n\
+               }\n";
+    let diags = lint_lib(src);
+    assert!(diags.is_empty(), "{diags:?}");
+    // And the lexer classifies them as comments/strings, not idents.
+    let toks = lex(src);
+    let unsafe_idents = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+        .count();
+    assert_eq!(unsafe_idents, 0);
+}
+
+#[test]
+fn doc_comment_unsafe_does_not_satisfy_a_real_unsafe_block() {
+    // Conversely, a doc comment containing "SAFETY:" prose must still
+    // count as the preceding safety comment for a genuine block below
+    // it only when it is an actual comment line — a string containing
+    // SAFETY: must not.
+    let src = "pub fn deref(p: *const u8) -> u8 {\n\
+               \x20   let _s = \"// SAFETY: not a comment\";\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    let diags = lint_lib(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "unsafe-needs-safety");
+}

@@ -29,6 +29,7 @@ pub(crate) fn stage_pass_dispatch(
     if ts3_tensor::simd::avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate, not an indexing bound; avx2_active() is the runtime check and the callee asserts its own slice bounds
         unsafe { stage_pass_avx2(ur, ui, vr, vi, swr, swi) };
         return true;
     }
@@ -54,6 +55,7 @@ pub(crate) fn row_butterfly_dispatch(
     if ts3_tensor::simd::avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate on fixed [f32; 16] arrays; no data-dependent bounds exist
         unsafe { row_butterfly_avx2(ur, ui, vr, vi, wr, wi) };
         return true;
     }
@@ -80,6 +82,7 @@ pub(crate) fn unsplit_dispatch(
     if ts3_tensor::simd::avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate, not an indexing bound; avx2_active() is the runtime check and the callee asserts its own slice bounds
         unsafe { unsplit_avx2(z, twr, twi, out) };
         return true;
     }
@@ -107,6 +110,7 @@ pub(crate) fn unsplit_planar_dispatch(
     if ts3_tensor::simd::avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate, not an indexing bound; avx2_active() is the runtime check and the callee asserts its own slice bounds
         unsafe { unsplit_planar_avx2(re, im, twr, twi, out) };
         return true;
     }
@@ -126,6 +130,7 @@ pub(crate) fn mirror_dispatch(out: &mut [Complex32]) -> bool {
     if ts3_tensor::simd::avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate, not an indexing bound; avx2_active() is the runtime check and the callee bounds itself on out.len()
         unsafe { mirror_avx2(out) };
         return true;
     }
@@ -218,6 +223,7 @@ unsafe fn row_butterfly_avx2(
     use core::arch::x86_64::*;
     // SAFETY: all arrays are exactly 16 floats, so offsets 0 and 8 with
     // 8-lane unaligned loads/stores stay in-bounds.
+    // ts3-lint: allow(unsafe-dataflow) bounds are the fixed [f32; 16] types themselves; there is no runtime length to assert
     unsafe {
         let wrv = _mm256_set1_ps(wr);
         let wiv = _mm256_set1_ps(wi);
@@ -248,6 +254,7 @@ unsafe fn deinterleave8(
 ) -> (core::arch::x86_64::__m256, core::arch::x86_64::__m256) {
     use core::arch::x86_64::*;
     // SAFETY: caller contract — 16 in-bounds floats at `p`.
+    // ts3-lint: allow(unsafe-dataflow) raw-pointer helper with no length of its own; each caller asserts the 16-float bound at its call site
     unsafe {
         let v0 = _mm256_loadu_ps(p); //        r0 i0 r1 i1 | r2 i2 r3 i3
         let v1 = _mm256_loadu_ps(p.add(8)); // r4 i4 r5 i5 | r6 i6 r7 i7
@@ -424,6 +431,7 @@ unsafe fn mirror_avx2(out: &mut [Complex32]) {
     // n-h-1+... = h+1 at k = h-4... >= h+1 for all k in range; max
     // index n-1). Load and store regions never overlap (k+3 < h < n-k-3
     // + 1 for k <= h-4), and both stay inside `out`.
+    // ts3-lint: allow(unsafe-dataflow) the bound is the loop condition `k + 4 <= h`, proven in the SAFETY argument; an assert would duplicate the guard
     unsafe {
         // Flipping the sign bit of the `im` lanes == scalar `conj`.
         let conj_mask = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);

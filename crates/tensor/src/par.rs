@@ -65,21 +65,43 @@
 //! parked and unused), growing spawns the missing workers lazily, up to
 //! [`HARD_MAX`].
 //!
+//! ## Schedule fuzzing (`TS3_SCHED_FUZZ`)
+//!
+//! The bit-identity contract above claims outputs do not depend on
+//! *which* worker runs *which* block or in what order the mailboxes are
+//! filled. `TS3_SCHED_FUZZ=<seed>` (or [`set_sched_fuzz`]) turns that
+//! claim into something testable: every pool dispatch draws a fresh
+//! deterministic permutation (seeded from the fuzz seed and a
+//! per-dispatch round counter, via `ts3-rng`) of **(a)** the
+//! block→worker assignment and **(b)** the mailbox wake order. The
+//! partition boundaries themselves never change — only the schedule —
+//! so a correct row-wise worker must still produce bitwise-identical
+//! buffers. The `sched_fuzz_sweep` integration test sweeps 16 seeds ×
+//! several thread counts over matmul/FFT/decomposition/forward and
+//! asserts exactly that; a failure means some kernel secretly depends
+//! on scheduling (shared accumulator, block-order dependence, data
+//! race). The fuzz branch is fully outside the default hot path: one
+//! relaxed atomic load when the knob is off.
+//!
 //! ## Observability
 //!
 //! `tensor.par.dispatches` counts one per [`par_rows_mut`] call and is
 //! independent of the thread count (part of the ts3-obs determinism
 //! contract). The `tensor.par.sched.*` counters — `pool_dispatches`,
-//! `inline_runs`, `threads_spawned` — describe *how* the work was
-//! scheduled, are inherently thread-count-dependent, and are therefore
-//! excluded from cross-thread-count determinism comparisons (the
-//! `trace_determinism` test filters `".sched."` names). The same
-//! numbers are available untraced through [`pool_stats`].
+//! `inline_runs`, `threads_spawned`, `fuzzed_dispatches` — describe
+//! *how* the work was scheduled, are inherently thread-count-dependent,
+//! and are therefore excluded from cross-thread-count determinism
+//! comparisons (the `trace_determinism` test filters `".sched."`
+//! names). The same numbers are available untraced through
+//! [`pool_stats`].
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use ts3_rng::rngs::StdRng;
+use ts3_rng::seq::SliceRandom;
+use ts3_rng::SeedableRng;
 
 /// Absolute ceiling on the thread cap (and thus `HARD_MAX - 1` pool
 /// workers per process), however `TS3_THREADS` / [`set_max_threads`]
@@ -119,11 +141,56 @@ pub fn set_max_threads(n: usize) {
 }
 
 // ---------------------------------------------------------------------------
+// Schedule fuzzing.
+
+/// `0` = not yet resolved from the environment, `1` = off, `2` = on.
+static FUZZ_STATE: AtomicUsize = AtomicUsize::new(0);
+static FUZZ_SEED: AtomicU64 = AtomicU64::new(0);
+/// Per-dispatch round counter: every fuzzed dispatch draws a distinct
+/// permutation even under a fixed seed.
+static FUZZ_ROUNDS: AtomicU64 = AtomicU64::new(0);
+
+/// The active schedule-fuzz seed, if fuzzing is enabled.
+///
+/// Resolved once from `TS3_SCHED_FUZZ` (any value that parses as `u64`
+/// enables fuzzing, including `0`); [`set_sched_fuzz`] overrides at
+/// runtime. Off is one relaxed atomic load.
+pub fn sched_fuzz() -> Option<u64> {
+    match FUZZ_STATE.load(Ordering::Acquire) {
+        1 => None,
+        2 => Some(FUZZ_SEED.load(Ordering::Acquire)),
+        _ => {
+            let parsed = std::env::var("TS3_SCHED_FUZZ")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok());
+            set_sched_fuzz(parsed);
+            parsed
+        }
+    }
+}
+
+/// Enable (`Some(seed)`) or disable (`None`) schedule fuzzing at
+/// runtime, overriding `TS3_SCHED_FUZZ`. Takes effect on the next
+/// dispatch. Exists for tests that sweep seeds within one process.
+pub fn set_sched_fuzz(seed: Option<u64>) {
+    match seed {
+        Some(s) => {
+            // Seed first, then state: a reader that observes "on" must
+            // also observe the seed (Release/Acquire pairing).
+            FUZZ_SEED.store(s, Ordering::Release);
+            FUZZ_STATE.store(2, Ordering::Release);
+        }
+        None => FUZZ_STATE.store(1, Ordering::Release),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scheduling statistics (plain atomics: usable without ts3-obs tracing).
 
 static SPAWNED: AtomicUsize = AtomicUsize::new(0);
 static POOL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
 static INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static FUZZED_DISPATCHES: AtomicU64 = AtomicU64::new(0);
 static LAST_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Point-in-time scheduling statistics of the worker pool.
@@ -136,6 +203,9 @@ pub struct PoolStats {
     /// Dispatches that ran serially inline (single-thread partition,
     /// contended pool, or spawn failure).
     pub inline_runs: u64,
+    /// Pool dispatches that ran under a fuzzed schedule
+    /// (`TS3_SCHED_FUZZ` / [`set_sched_fuzz`]).
+    pub fuzzed_dispatches: u64,
     /// Thread count of the most recent dispatch (0 before the first).
     pub last_dispatch_threads: usize,
 }
@@ -148,6 +218,7 @@ pub fn pool_stats() -> PoolStats {
         threads_spawned: SPAWNED.load(Ordering::Relaxed),
         pool_dispatches: POOL_DISPATCHES.load(Ordering::Relaxed),
         inline_runs: INLINE_RUNS.load(Ordering::Relaxed),
+        fuzzed_dispatches: FUZZED_DISPATCHES.load(Ordering::Relaxed),
         last_dispatch_threads: LAST_THREADS.load(Ordering::Relaxed),
     }
 }
@@ -290,12 +361,14 @@ fn worker_loop(mailbox: Arc<Mailbox>) {
         // AssertUnwindSafe: the job's buffer block is exclusively owned
         // and simply abandoned mid-write on panic; the caller observes
         // the panic, never the half-written block.
+        // ts3-lint: allow(unsafe-dataflow) the validity bound lives in the dispatcher's latch pin, not a local length; nothing assertable here
         let result = catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.run)(job.ctx, job.first_row, job.ptr, job.len)
         }));
         // SAFETY: the dispatcher keeps the latch alive until `complete`
         // has decremented `remaining` (it waits under the same mutex),
         // so the pointer is valid for the duration of this borrow.
+        // ts3-lint: allow(unsafe-dataflow) lifetime contract enforced by the dispatch latch, not expressible as a local assert
         let latch = unsafe { &*job.latch };
         latch.complete(result.err());
     }
@@ -364,29 +437,76 @@ impl Pool {
             // From here until the guard drops, this frame is pinned:
             // workers may hold pointers into `worker`, `out` and `latch`.
             let _pin = WaitOnDrop(&latch);
-            for (t, mailbox) in workers.iter().take(threads - 1).enumerate() {
-                let block_rows = base + usize::from(t < extra);
-                let (block, tail) = rest.split_at_mut(block_rows * row_width);
-                rest = tail;
-                let job = Job {
-                    run: trampoline::<F>,
-                    ctx,
-                    first_row,
-                    ptr: block.as_mut_ptr(),
-                    len: block.len(),
-                    latch: &latch,
-                };
-                // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
-                let mut slot = mailbox.slot.lock().unwrap();
-                debug_assert!(slot.is_none(), "mailbox busy under dispatch lock");
-                *slot = Some(job);
-                mailbox.cv.notify_one();
-                first_row += block_rows;
+            if let Some(seed) = sched_fuzz() {
+                // Fuzz mode: identical partition boundaries, permuted
+                // block→worker assignment and mailbox wake order (see
+                // module docs). Carve all `threads` blocks up front so
+                // any block can go to any slot.
+                FUZZED_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+                ts3_obs::counter_add("tensor.par.sched.fuzzed_dispatches", 1);
+                let round = FUZZ_ROUNDS.fetch_add(1, Ordering::Relaxed);
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut blocks: Vec<Option<(usize, &mut [f32])>> = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let block_rows = base + usize::from(t < extra);
+                    let (block, tail) = rest.split_at_mut(block_rows * row_width);
+                    rest = tail;
+                    blocks.push(Some((first_row, block)));
+                    first_row += block_rows;
+                }
+                // `assign[k]` is the block handed to the k-th filled
+                // mailbox (the last entry stays on the calling thread);
+                // `wake` permutes which mailbox is filled k-th.
+                let mut assign: Vec<usize> = (0..threads).collect();
+                assign.shuffle(&mut rng);
+                let mut wake: Vec<usize> = (0..threads - 1).collect();
+                wake.shuffle(&mut rng);
+                for (k, &w) in wake.iter().enumerate() {
+                    // ts3-lint: allow(no-unwrap-in-lib) assign is a permutation of 0..threads, so each take() hits a distinct still-filled slot
+                    let (row0, block) = blocks[assign[k]].take().unwrap();
+                    let job = Job {
+                        run: trampoline::<F>,
+                        ctx,
+                        first_row: row0,
+                        ptr: block.as_mut_ptr(),
+                        len: block.len(),
+                        latch: &latch,
+                    };
+                    // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
+                    let mut slot = workers[w].slot.lock().unwrap();
+                    debug_assert!(slot.is_none(), "mailbox busy under dispatch lock");
+                    *slot = Some(job);
+                    workers[w].cv.notify_one();
+                }
+                // ts3-lint: allow(no-unwrap-in-lib) assign is a permutation of 0..threads, so each take() hits a distinct still-filled slot
+                let (row0, block) = blocks[assign[threads - 1]].take().unwrap();
+                worker(row0, block);
+            } else {
+                for (t, mailbox) in workers.iter().take(threads - 1).enumerate() {
+                    let block_rows = base + usize::from(t < extra);
+                    let (block, tail) = rest.split_at_mut(block_rows * row_width);
+                    rest = tail;
+                    let job = Job {
+                        run: trampoline::<F>,
+                        ctx,
+                        first_row,
+                        ptr: block.as_mut_ptr(),
+                        len: block.len(),
+                        latch: &latch,
+                    };
+                    // ts3-lint: allow(no-unwrap-in-lib) lock/condvar poisoning means a worker panicked; the pool cannot be recovered and aborting is the contract
+                    let mut slot = mailbox.slot.lock().unwrap();
+                    debug_assert!(slot.is_none(), "mailbox busy under dispatch lock");
+                    *slot = Some(job);
+                    mailbox.cv.notify_one();
+                    first_row += block_rows;
+                }
+                // Final block on the calling thread (exactly the
+                // scoped-spawn era behaviour, so the single- and
+                // multi-thread partitions agree element-for-element).
+                worker(first_row, rest);
             }
-            // Final block on the calling thread (exactly the scoped-spawn
-            // era behaviour, so the single- and multi-thread partitions
-            // agree element-for-element).
-            worker(first_row, rest);
         }
         if let Some(payload) = latch.wait() {
             resume_unwind(payload);
@@ -530,6 +650,28 @@ mod tests {
         let a = max_threads();
         assert!(a >= 1);
         assert_eq!(a, max_threads());
+    }
+
+    #[test]
+    fn fuzzed_schedules_are_bitwise_identical() {
+        let width = 5;
+        let rows = 29;
+        let mut serial = vec![0.0f32; rows * width];
+        fill(0, &mut serial, width);
+        let serial_bits: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+        for seed in 0..8u64 {
+            set_sched_fuzz(Some(seed));
+            for threads in [2, 3, 5] {
+                let mut par = vec![0.0f32; rows * width];
+                par_rows_mut_in(threads, &mut par, width, &|r0, block| fill(r0, block, width));
+                assert_eq!(
+                    serial_bits,
+                    par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "seed = {seed}, threads = {threads}"
+                );
+            }
+        }
+        set_sched_fuzz(None);
     }
 
     #[test]

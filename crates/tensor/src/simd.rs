@@ -116,6 +116,7 @@ pub(crate) fn micro_full_dispatch(
     if avx2_active() {
         // SAFETY: avx2_active() only returns true after runtime
         // detection confirmed this CPU executes AVX2 and FMA.
+        // ts3-lint: allow(unsafe-dataflow) cpu-feature gate, not an indexing bound; avx2_active() is the runtime check and the callee asserts its own slice bounds
         unsafe { micro_full_avx2(kc, ap, bp, out, row_stride) };
         return true;
     }

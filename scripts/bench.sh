@@ -66,7 +66,11 @@ if [[ $SMOKE -eq 1 ]]; then
   # wall-clock sneaking into a kernel would make the numbers themselves
   # nondeterministic.
   echo "== bench.sh: static analysis precondition (ts3lint --deny-all) =="
-  cargo run -q --release --offline -p ts3-lint --bin ts3lint -- --deny-all
+  # --bench-out records the lint pass itself (wall_ms + diagnostics) as
+  # ts3.bench.v1 rows; verify gate 6 pins them against the committed
+  # baseline like any other kernel.
+  cargo run -q --release --offline -p ts3-lint --bin ts3lint -- --deny-all \
+    --bench-out "$OUT_DIR/BENCH_lint_smoke.json"
   echo "== bench.sh: smoke (reduced kernels, 40 ms budget, 2 threads) =="
   TS3_BENCH_SMOKE=1 TS3_BENCH_MS=40 TS3_THREADS=2 TS3_TRACE=1 \
     TS3_TRACE_MAX_SPANS=2000 \

@@ -7,20 +7,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/10 release build (offline) =="
+echo "== 1/11 release build (offline) =="
 cargo build --release --workspace --offline
 
-echo "== 2/10 test suite =="
+echo "== 2/11 test suite =="
 cargo test -q --workspace --offline
 
-echo "== 3/10 rustdoc incl. private items (warnings are errors) =="
+echo "== 3/11 rustdoc incl. private items (warnings are errors) =="
 # --document-private-items keeps internal doc comments (executor loop,
 # plan lowering, kernel internals) to the same standard as the public
 # API: a broken intra-doc link in a private item fails the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline \
   --document-private-items
 
-echo "== 4/10 dependency hermeticity =="
+echo "== 4/11 dependency hermeticity =="
 if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
     | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' | grep -v '^ts3' ; then
   echo "FAIL: non-workspace crate in the dependency tree" >&2
@@ -28,7 +28,7 @@ if cargo tree --workspace --edges normal --offline | grep -Ev '^\s*$' \
 fi
 echo "ok: dependency tree is ts3-* only"
 
-echo "== 5/10 observability smoke (TS3_TRACE=1 trace manifests) =="
+echo "== 5/11 observability smoke (TS3_TRACE=1 trace manifests) =="
 # table2 exercises the manifest plumbing without training; table4 on one
 # dataset exercises epoch events and instrumented kernels. trace_check
 # parses each manifest with ts3-json and asserts its contents.
@@ -39,7 +39,7 @@ TS3_TRACE=1 ./target/release/table4 --smoke ETTh1 > /dev/null 2>&1
   --require-epoch --require-kernel-span
 echo "ok: trace manifests parse and carry epoch events + kernel spans"
 
-echo "== 6/10 kernel bench smoke + regression gate =="
+echo "== 6/11 kernel bench smoke + regression gate =="
 # Reduced kernel subset at a 40 ms budget against the committed smoke
 # baseline. The +50% threshold is deliberately generous: smoke medians
 # are short-budget, and the gate exists to catch order-of-magnitude
@@ -59,8 +59,13 @@ if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
     --require-counter signal.fft.sched.dispatch_avx2
   echo "ok: AVX2 dispatch counters ticked during the bench smoke"
 fi
+# The lint precondition inside bench.sh also records its own wall time
+# and diagnostic count as a ts3.bench.v1 row; pin it against the
+# committed baseline so the analyzer cannot silently grow quadratic.
+./target/release/bench_compare results/BENCH_lint_smoke.json \
+  target/bench-smoke/BENCH_lint_smoke.json --threshold 100
 
-echo "== 7/10 serving + streaming bench smoke + regression gates =="
+echo "== 7/11 serving + streaming bench smoke + regression gates =="
 # Closed-loop serving latency (ts3-serve) at 1/8/64 clients against the
 # committed baseline. The +100% threshold is wider than the kernel
 # gate's: end-to-end latency includes channel wakeups and scheduling
@@ -85,7 +90,7 @@ timeout 900 env TS3_THREADS=1 ./target/release/stream_bench --smoke \
 ./target/release/bench_compare results/BENCH_stream_smoke.json \
   target/stream-smoke/BENCH_stream_smoke.json --threshold 100
 
-echo "== 8/10 docs liveness (crate inventories) =="
+echo "== 8/11 docs liveness (crate inventories) =="
 # Every workspace crate must appear in ARCHITECTURE.md's crate map and
 # DESIGN.md's component inventory, so the two documents cannot silently
 # rot as crates are added.
@@ -102,14 +107,14 @@ done
 [ "$missing" -eq 0 ] || exit 1
 echo "ok: all $(ls -d crates/*/ | wc -l) crates are documented in ARCHITECTURE.md and DESIGN.md"
 
-echo "== 9/10 static analysis (ts3lint --deny-all) =="
+echo "== 9/11 static analysis (ts3lint --deny-all) =="
 # The in-workspace lint pass (crates/lint): determinism, hermeticity and
 # safety contracts as machine-checked rules. --deny-all promotes
 # warnings (stale allow directives) to failures so the committed tree
 # stays exactly clean, not merely error-free.
 ./target/release/ts3lint --deny-all
 
-echo "== 10/10 serving telemetry (timeline + flight + exposition) =="
+echo "== 10/11 serving telemetry (timeline + flight + exposition) =="
 # serve_obs drives a stalled request sim (forced deadline-miss burst)
 # and an online streaming sim under tracing, then writes every ts3-obs
 # v2 artifact. trace_check validates the ts3.timeline.v1 and
@@ -125,5 +130,21 @@ timeout 900 env TS3_TRACE=1 TS3_THREADS=2 ./target/release/serve_obs --smoke \
 cmp target/obs-a/serve_obs.prom target/obs-b/serve_obs.prom
 test -s target/obs-a/serve_obs.folded
 echo "ok: timeline/flight validate, exposition byte-stable, folded stacks non-empty"
+
+echo "== 11/11 graph lint + schedule-fuzz race harness =="
+# The graph rule families (crate layering, lock order, unsafe dataflow,
+# env registry, config liveness) re-run in isolation with a JSON report,
+# and trace_check validates the ts3.lint.v2 schema: per-rule timings
+# plus the resolved crate DAG must be present and internally closed.
+./target/release/ts3lint --deny-all \
+  --rule crate-layering --rule lock-order --rule unsafe-dataflow \
+  --rule env-registry --rule config-liveness \
+  --json target/lint-graph.json
+./target/release/trace_check --lint target/lint-graph.json
+# Deterministic schedule fuzzing: 16 seeded worker-schedule permutations
+# x thread counts {1,2,4} must produce bitwise-identical matmul / FFT /
+# decomposition / forward-pass outputs. TS3_SCHED_FUZZ=7 additionally
+# proves the env knob wiring (the test asserts the knob was picked up).
+TS3_SCHED_FUZZ=7 cargo test -q --offline --test sched_fuzz_sweep
 
 echo "verify: all gates passed"

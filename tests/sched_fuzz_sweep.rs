@@ -1,0 +1,135 @@
+//! Deterministic schedule-fuzz race harness (`TS3_SCHED_FUZZ`).
+//!
+//! The worker pool's contract is that outputs never depend on the
+//! schedule: not on which worker runs which row block, and not on the
+//! order the mailboxes are woken. This sweep forces the point: for 16
+//! fuzz seeds × thread counts {1, 2, 4} it recomputes a matmul, a
+//! complex FFT, a real-input FFT, a triple decomposition and a TS3Net
+//! forward pass under a freshly permuted schedule per dispatch, and
+//! asserts every result is **bitwise** identical to the unfuzzed
+//! single-thread baseline. A failure here means some kernel secretly
+//! depends on scheduling — a shared accumulator, block-order
+//! dependence, or a data race.
+//!
+//! Everything lives in one `#[test]` on purpose: the fuzz seed and the
+//! thread cap are process-global, so concurrent tests inside this
+//! binary would race on them.
+
+use ts3_nn::Ctx;
+use ts3_signal::fft::{fft, rfft_half};
+use ts3_signal::{triple_decompose, TripleConfig};
+use ts3_tensor::{par, Tensor};
+use ts3net_core::{ForecastModel, TS3Net, TS3NetConfig};
+
+const SEEDS: u64 = 16;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn tiny_cfg(c: usize, lookback: usize, horizon: usize) -> TS3NetConfig {
+    let mut cfg = TS3NetConfig::scaled(c, lookback, horizon);
+    cfg.lambda = 4;
+    cfg.d_model = 4;
+    cfg.d_hidden = 4;
+    cfg.dropout = 0.0;
+    cfg
+}
+
+/// Deterministic, value-varied fill so block mixups cannot cancel.
+fn series(n: usize, stride: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * stride + 3) as f32 * 0.173).sin() * (1.0 + i as f32 * 0.01))
+        .collect()
+}
+
+/// One full pipeline evaluation under the current (fuzz, threads)
+/// globals, flattened to bit patterns.
+fn evaluate(model: &TS3Net, x: &Tensor) -> Vec<u32> {
+    let mut bits = Vec::new();
+    let push = |bits: &mut Vec<u32>, vals: &[f32]| {
+        bits.extend(vals.iter().map(|v| v.to_bits()));
+    };
+
+    // Matmul: big enough that the pool actually dispatches multi-block.
+    let a = Tensor::from_vec(series(37 * 64, 7), &[37, 64]);
+    let b = Tensor::from_vec(series(64 * 48, 11), &[64, 48]);
+    push(&mut bits, a.matmul(&b).as_slice());
+
+    // Complex and real-input FFTs (256-point, radix-2 path).
+    let sig = series(256, 5);
+    let input: Vec<ts3_signal::Complex32> = sig
+        .iter()
+        .map(|&re| ts3_signal::Complex32::new(re, -0.25 * re))
+        .collect();
+    for c in fft(&input) {
+        bits.push(c.re.to_bits());
+        bits.push(c.im.to_bits());
+    }
+    for c in rfft_half(&sig) {
+        bits.push(c.re.to_bits());
+        bits.push(c.im.to_bits());
+    }
+
+    // Triple decomposition of a 2-channel window.
+    let win = Tensor::from_vec(series(96 * 2, 3), &[96, 2]);
+    let d = triple_decompose(&win, &TripleConfig { lambda: 4, ..Default::default() });
+    push(&mut bits, d.trend.as_slice());
+    push(&mut bits, d.seasonal.as_slice());
+    push(&mut bits, d.fluctuant_1d.as_slice());
+    push(&mut bits, d.fluctuant_2d.as_slice());
+
+    // TS3Net forward pass (eval mode: no dropout, no tape).
+    let mut ctx = Ctx::eval();
+    push(&mut bits, model.forecast(x, &mut ctx).value().as_slice());
+    bits
+}
+
+#[test]
+fn sixteen_fuzzed_schedules_are_bitwise_identical() {
+    // When the verify gate runs this binary with TS3_SCHED_FUZZ set,
+    // the knob must actually have been picked up.
+    let orig_fuzz = par::sched_fuzz();
+    let orig_threads = par::max_threads();
+    if std::env::var("TS3_SCHED_FUZZ").is_ok_and(|v| v.trim().parse::<u64>().is_ok()) {
+        assert!(
+            orig_fuzz.is_some(),
+            "TS3_SCHED_FUZZ is set but par::sched_fuzz() resolved to off"
+        );
+    }
+
+    let model = TS3Net::new(tiny_cfg(2, 32, 16), 42);
+    let x = Tensor::from_vec(series(2 * 32 * 2, 13), &[2, 32, 2]);
+
+    // Unfuzzed single-thread baseline.
+    par::set_sched_fuzz(None);
+    par::set_max_threads(1);
+    let baseline = evaluate(&model, &x);
+
+    let fuzzed_before = par::pool_stats().fuzzed_dispatches;
+    for seed in 0..SEEDS {
+        par::set_sched_fuzz(Some(seed));
+        for threads in THREADS {
+            par::set_max_threads(threads);
+            let got = evaluate(&model, &x);
+            assert_eq!(
+                baseline.len(),
+                got.len(),
+                "seed {seed}, threads {threads}: output shape changed"
+            );
+            if let Some(i) = (0..baseline.len()).find(|&i| baseline[i] != got[i]) {
+                panic!(
+                    "seed {seed}, threads {threads}: bit divergence at flat index {i}: \
+                     {:#010x} vs {:#010x}",
+                    baseline[i], got[i]
+                );
+            }
+        }
+    }
+    // The sweep must have exercised the fuzzed dispatch path (the
+    // multi-thread legs dispatch through the pool).
+    assert!(
+        par::pool_stats().fuzzed_dispatches > fuzzed_before,
+        "no dispatch ever took the fuzzed schedule path"
+    );
+
+    par::set_sched_fuzz(orig_fuzz);
+    par::set_max_threads(orig_threads);
+}
